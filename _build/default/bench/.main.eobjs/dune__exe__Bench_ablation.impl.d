@@ -1,0 +1,1 @@
+bench/bench_ablation.ml: Array Bench_common Hashtbl Joinproj Jp_dynamic Jp_matrix Jp_relation Jp_util Jp_wcoj Jp_workload List Printf

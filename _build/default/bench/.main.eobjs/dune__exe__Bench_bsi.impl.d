@@ -1,0 +1,1 @@
+bench/bench_bsi.ml: Bench_common Jp_bsi Jp_relation Jp_util Jp_workload List Printf

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Hashtbl Jp_relation Jp_util Jp_workload List Printf String

@@ -1,0 +1,1 @@
+bench/bench_datasets.ml: Bench_common Jp_util Jp_workload List Printf

@@ -1,0 +1,1 @@
+bench/bench_matrix.ml: Array Bench_common Jp_matrix Jp_parallel Jp_util List Printf

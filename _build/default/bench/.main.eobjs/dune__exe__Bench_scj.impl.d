@@ -1,0 +1,1 @@
+bench/bench_scj.ml: Bench_common Jp_parallel Jp_relation Jp_scj Jp_util Jp_workload List

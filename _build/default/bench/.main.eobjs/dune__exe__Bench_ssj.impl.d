@@ -1,0 +1,1 @@
+bench/bench_ssj.ml: Array Bench_common Jp_parallel Jp_relation Jp_ssj Jp_util Jp_workload List Printf

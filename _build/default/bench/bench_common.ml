@@ -1,0 +1,65 @@
+(* Shared plumbing for the benchmark harness: configuration, dataset
+   cache, timing, and section/row rendering. *)
+
+module Relation = Jp_relation.Relation
+module Presets = Jp_workload.Presets
+module Tablefmt = Jp_util.Tablefmt
+
+type config = {
+  scale : float; (* dataset scale multiplier *)
+  repeats : int; (* median-of-n timing *)
+  only : string list; (* experiment tags to run; [] = all *)
+  cores : int list; (* core counts for the multicore figures *)
+}
+
+let default_config =
+  {
+    scale = 1.0;
+    repeats = 1;
+    only = [];
+    cores = [ 1; 2; 4 ];
+  }
+
+let wants cfg tag =
+  cfg.only = []
+  || List.exists
+       (fun o -> String.lowercase_ascii o = String.lowercase_ascii tag)
+       cfg.only
+
+let section title =
+  Printf.printf "\n==== %s ====\n%!" title
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n%!" s) fmt
+
+(* Dataset cache: each preset is generated once per run. *)
+let cache : (string, Relation.t) Hashtbl.t = Hashtbl.create 16
+
+let dataset cfg name =
+  let key = Printf.sprintf "%s@%f" (Presets.to_string name) cfg.scale in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+    let r = Presets.load ~scale:cfg.scale name in
+    Hashtbl.add cache key r;
+    r
+
+let time cfg f = snd (Jp_util.Timer.time_median ~repeats:cfg.repeats f)
+
+(* Runs [f] and renders its wall time, also returning a checksum so that
+   result sizes can be cross-checked between engines in the same row. *)
+let timed_cell cfg f =
+  let result = ref 0 in
+  let t =
+    time cfg (fun () ->
+        result := f ();
+        !result)
+  in
+  (Tablefmt.seconds t, !result)
+
+let check_consistent ~label sizes =
+  match List.filter (fun s -> s >= 0) sizes with
+  | [] -> ()
+  | first :: rest ->
+    if not (List.for_all (fun s -> s = first) rest) then
+      Printf.printf "  WARNING: engines disagree on |OUT| for %s: %s\n%!" label
+        (String.concat ", " (List.map string_of_int (first :: rest)))

@@ -1,0 +1,27 @@
+(* TAB2: dataset characteristics (Table 2 of the paper, scaled). *)
+
+module Presets = Jp_workload.Presets
+module Tablefmt = Jp_util.Tablefmt
+
+let table2 cfg =
+  Bench_common.section "TAB2: dataset characteristics (scaled Table 2)";
+  let rows =
+    List.map
+      (fun name ->
+        let r = Bench_common.dataset cfg name in
+        let ch = Presets.characteristics r in
+        [
+          Presets.to_string name;
+          Tablefmt.big_int ch.Presets.tuples;
+          Tablefmt.big_int ch.Presets.sets;
+          Tablefmt.big_int ch.Presets.dom;
+          Printf.sprintf "%.1f" ch.Presets.avg_size;
+          string_of_int ch.Presets.min_size;
+          string_of_int ch.Presets.max_size;
+          (if Presets.is_dense name then "dense" else "sparse");
+        ])
+      Presets.all
+  in
+  Tablefmt.print
+    ~header:[ "dataset"; "|R|"; "sets"; "|dom|"; "avg"; "min"; "max"; "class" ]
+    ~rows

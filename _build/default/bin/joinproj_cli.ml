@@ -1,0 +1,404 @@
+(* joinproj — command-line driver for the join-project engine.
+
+   Subcommands: datasets, explain, join, star, ssj, scj, bsi, calibrate.
+   Every command runs on the synthetic Table-2 presets; see DESIGN.md. *)
+
+module Relation = Jp_relation.Relation
+module Presets = Jp_workload.Presets
+module Two_path = Joinproj.Two_path
+module Optimizer = Joinproj.Optimizer
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+
+let dataset_arg =
+  let parse s =
+    match Presets.of_string s with
+    | Some n -> Ok n
+    | None -> Error (`Msg ("unknown dataset: " ^ s))
+  in
+  let print fmt n = Format.pp_print_string fmt (Presets.to_string n) in
+  Arg.conv (parse, print)
+
+let dataset =
+  Arg.(
+    value
+    & opt (some dataset_arg) None
+    & info [ "d"; "dataset" ] ~docv:"NAME"
+        ~doc:"Dataset preset: dblp, roadnet, jokes, words, protein or image.")
+
+let input_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:
+          "Load the relation from FILE instead of a preset (native format or \
+           two-column TSV, auto-detected).")
+
+let scale =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"F" ~doc:"Dataset scale multiplier.")
+
+let domains =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "domains" ] ~docv:"N" ~doc:"Number of domains (cores) to use.")
+
+let seed =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
+
+let load_input path =
+  match Jp_io.Relation_io.load_file path with
+  | Ok r -> r
+  | Error _ -> (
+    (* not the native format: try TSV with dictionary encoding *)
+    let ic = open_in path in
+    let result =
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+          Jp_io.Relation_io.import_tsv ic)
+    in
+    match result with
+    | Ok (r, _, _) -> r
+    | Error e -> failwith (path ^ ": " ^ e))
+
+(* A relation comes either from a preset (-d) or a file (-i). *)
+let load_source name input scale seed =
+  match (name, input) with
+  | _, Some path -> load_input path
+  | Some n, None -> Presets.load ~scale ~seed n
+  | None, None -> failwith "specify a dataset (-d) or an input file (-i)"
+
+let report name count seconds =
+  Printf.printf "%-22s %12s pairs   %s\n" name (Jp_util.Tablefmt.big_int count)
+    (Jp_util.Tablefmt.seconds seconds)
+
+(* ------------------------------------------------------------------ *)
+(* commands                                                            *)
+
+let datasets_cmd =
+  let run scale seed =
+    let header = [ "dataset"; "|R|"; "sets"; "|dom|"; "avg"; "min"; "max" ] in
+    let rows =
+      List.map
+        (fun n ->
+          let ch = Presets.characteristics (Presets.load ~scale ~seed n) in
+          [
+            Presets.to_string n;
+            Jp_util.Tablefmt.big_int ch.Presets.tuples;
+            Jp_util.Tablefmt.big_int ch.Presets.sets;
+            Jp_util.Tablefmt.big_int ch.Presets.dom;
+            Printf.sprintf "%.1f" ch.Presets.avg_size;
+            string_of_int ch.Presets.min_size;
+            string_of_int ch.Presets.max_size;
+          ])
+        Presets.all
+    in
+    Jp_util.Tablefmt.print ~header ~rows
+  in
+  Cmd.v
+    (Cmd.info "datasets" ~doc:"Show the characteristics of every dataset preset.")
+    Term.(const run $ scale $ seed)
+
+let explain_cmd =
+  let run name input scale seed domains =
+    let r = load_source name input scale seed in
+    let plan = Optimizer.plan ~domains ~r ~s:r () in
+    print_endline (Optimizer.explain plan);
+    let counts_plan = Optimizer.plan_counts ~domains ~r ~s:r () in
+    print_endline ("counted variant: " ^ Optimizer.explain counts_plan)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the plan Algorithm 3 picks for the 2-path self-join.")
+    Term.(const run $ dataset $ input_file $ scale $ seed $ domains)
+
+let engines =
+  [
+    ("mm", `Mm);
+    ("nonmm", `Nonmm);
+    ("wcoj", `Wcoj);
+    ("hash", `Hash);
+    ("sortmerge", `Sortmerge);
+    ("bitset", `Bitset);
+  ]
+
+let engine =
+  Arg.(
+    value
+    & opt (enum engines) `Mm
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"Engine: $(b,mm), $(b,nonmm), $(b,wcoj), $(b,hash), $(b,sortmerge) or $(b,bitset).")
+
+let join_cmd =
+  let run name input scale seed domains engine =
+    let r = load_source name input scale seed in
+    let count, t =
+      Jp_util.Timer.time (fun () ->
+          match engine with
+          | `Mm ->
+            let pairs, plan = Two_path.project_with_plan_info ~domains ~r ~s:r () in
+            print_endline (Optimizer.explain plan);
+            Jp_relation.Pairs.count pairs
+          | `Nonmm ->
+            Jp_relation.Pairs.count
+              (Two_path.project ~domains ~strategy:Two_path.Combinatorial ~r ~s:r ())
+          | `Wcoj -> Jp_relation.Pairs.count (Jp_baselines.Fulljoin.two_path ~domains ~r ~s:r ())
+          | `Hash -> Jp_relation.Pairs.count (Jp_baselines.Hash_join.two_path ~r ~s:r)
+          | `Sortmerge ->
+            Jp_relation.Pairs.count (Jp_baselines.Sortmerge_join.two_path ~r ~s:r)
+          | `Bitset ->
+            Jp_relation.Pairs.count (Jp_baselines.Bitset_engine.two_path ~r ~s:r ()))
+    in
+    report "two-path join-project" count t
+  in
+  Cmd.v
+    (Cmd.info "join" ~doc:"Evaluate the 2-path join-project self-join.")
+    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ engine)
+
+let star_cmd =
+  let k =
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Number of relations.")
+  in
+  let combinatorial =
+    Arg.(
+      value & flag
+      & info [ "combinatorial" ] ~doc:"Use the combinatorial heavy part (Non-MMJoin).")
+  in
+  let run name input scale seed domains k combinatorial =
+    if k < 2 then failwith "k must be >= 2";
+    let r = load_source name input scale seed in
+    let rels = Array.make k r in
+    let strategy =
+      if combinatorial then Joinproj.Star.Combinatorial else Joinproj.Star.Matrix
+    in
+    let count, t =
+      Jp_util.Timer.time (fun () ->
+          Jp_relation.Tuples.count (Joinproj.Star.project ~domains ~strategy rels))
+    in
+    report (Printf.sprintf "star join (k=%d)" k) count t
+  in
+  Cmd.v
+    (Cmd.info "star" ~doc:"Evaluate the star join-project self-join.")
+    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ k $ combinatorial)
+
+let ssj_cmd =
+  let c = Arg.(value & opt int 2 & info [ "c" ] ~docv:"C" ~doc:"Overlap threshold.") in
+  let algo =
+    Arg.(
+      value
+      & opt (enum [ ("mm", `Mm); ("sizeaware", `Sa); ("sizeaware++", `Sapp) ]) `Mm
+      & info [ "a"; "algo" ] ~docv:"ALGO"
+          ~doc:"Algorithm: $(b,mm), $(b,sizeaware) or $(b,sizeaware++).")
+  in
+  let ordered =
+    Arg.(value & flag & info [ "ordered" ] ~doc:"Enumerate by decreasing overlap.")
+  in
+  let run name input scale seed domains c algo ordered =
+    let r = load_source name input scale seed in
+    if ordered then begin
+      let result, t =
+        Jp_util.Timer.time (fun () ->
+            match algo with
+            | `Mm -> Jp_ssj.Ordered.via_counts ~domains ~c r
+            | `Sa -> Jp_ssj.Ordered.via_pairs r ~c (Jp_ssj.Size_aware.join ~c r)
+            | `Sapp ->
+              Jp_ssj.Ordered.via_pairs r ~c (Jp_ssj.Size_aware_pp.join ~domains ~c r))
+      in
+      report "ordered ssj" (Array.length result) t;
+      Array.iteri
+        (fun i (a, b, k) ->
+          if i < 10 then Printf.printf "  %d ~ %d : %d common elements\n" a b k)
+        result
+    end
+    else begin
+      let count, t =
+        Jp_util.Timer.time (fun () ->
+            Jp_relation.Pairs.count
+              (match algo with
+              | `Mm -> Jp_ssj.Mm_ssj.join ~domains ~c r
+              | `Sa -> Jp_ssj.Size_aware.join ~c r
+              | `Sapp -> Jp_ssj.Size_aware_pp.join ~domains ~c r))
+      in
+      report (Printf.sprintf "ssj (c=%d)" c) count t
+    end
+  in
+  Cmd.v
+    (Cmd.info "ssj" ~doc:"Set-similarity self-join.")
+    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ c $ algo $ ordered)
+
+let scj_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("mm", `Mm); ("pretti", `Pretti); ("limit+", `Limit); ("piejoin", `Pie) ])
+          `Mm
+      & info [ "a"; "algo" ] ~docv:"ALGO"
+          ~doc:"Algorithm: $(b,mm), $(b,pretti), $(b,limit+) or $(b,piejoin).")
+  in
+  let run name input scale seed domains algo =
+    let r = load_source name input scale seed in
+    let count, t =
+      Jp_util.Timer.time (fun () ->
+          Jp_relation.Pairs.count
+            (match algo with
+            | `Mm -> Jp_scj.Mm_scj.join ~domains r
+            | `Pretti -> Jp_scj.Pretti.join r
+            | `Limit -> Jp_scj.Limit_plus.join r
+            | `Pie -> Jp_scj.Piejoin.join ~domains r))
+    in
+    report "set containment join" count t
+  in
+  Cmd.v
+    (Cmd.info "scj" ~doc:"Set-containment self-join.")
+    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ algo)
+
+let bsi_cmd =
+  let batch =
+    Arg.(value & opt int 500 & info [ "batch" ] ~docv:"C" ~doc:"Batch size.")
+  in
+  let rate =
+    Arg.(value & opt float 1000.0 & info [ "rate" ] ~docv:"B" ~doc:"Queries per second.")
+  in
+  let count =
+    Arg.(value & opt int 4000 & info [ "queries" ] ~docv:"Q" ~doc:"Workload size.")
+  in
+  let combinatorial =
+    Arg.(value & flag & info [ "combinatorial" ] ~doc:"Use the combinatorial engine.")
+  in
+  let run name input scale seed domains batch rate count combinatorial =
+    let r = load_source name input scale seed in
+    let n = Relation.src_count r in
+    let queries = Jp_workload.Generate.batch_queries ~seed ~count ~nx:n ~nz:n () in
+    let strategy = if combinatorial then Jp_bsi.Bsi.Combinatorial else Jp_bsi.Bsi.Mm in
+    let stats =
+      Jp_bsi.Bsi.simulate ~domains ~strategy ~r ~s:r ~queries ~rate ~batch_size:batch ()
+    in
+    Printf.printf
+      "batch=%d  batches=%d  avg delay %s  max delay %s  units needed %.2f\n"
+      stats.Jp_bsi.Bsi.batch_size stats.Jp_bsi.Bsi.batches
+      (Jp_util.Tablefmt.seconds stats.Jp_bsi.Bsi.avg_delay)
+      (Jp_util.Tablefmt.seconds stats.Jp_bsi.Bsi.max_delay)
+      stats.Jp_bsi.Bsi.units_needed
+  in
+  Cmd.v
+    (Cmd.info "bsi" ~doc:"Boolean set intersection under a batched workload.")
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ batch $ rate
+      $ count $ combinatorial)
+
+let query_cmd =
+  let query_text =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Conjunctive query, e.g. 'Q(x,z) :- R(x,y), S(z,y)'.  The \
+             relations R, S and T all resolve to the chosen dataset.")
+  in
+  let run name input scale seed query_text =
+    let r = load_source name input scale seed in
+    let catalog = [ ("R", r); ("S", r); ("T", r) ] in
+    match Jp_query.Cq.parse query_text with
+    | Error e -> prerr_endline e
+    | Ok q -> (
+      (match Jp_query.Engine.plan_of q with
+      | Ok plan -> print_endline ("plan: " ^ Jp_query.Engine.describe plan)
+      | Error e -> print_endline ("plan: " ^ e));
+      let result, t = Jp_util.Timer.time (fun () -> Jp_query.Engine.run catalog q) in
+      match result with
+      | Error e -> prerr_endline e
+      | Ok tuples ->
+        Printf.printf "%s tuples in %s\n"
+          (Jp_util.Tablefmt.big_int (Jp_relation.Tuples.count tuples))
+          (Jp_util.Tablefmt.seconds t);
+        let shown = ref 0 in
+        (try
+           Jp_relation.Tuples.iter
+             (fun tuple ->
+               if !shown >= 5 then raise Exit;
+               incr shown;
+               Printf.printf "  (%s)\n"
+                 (String.concat ", " (List.map string_of_int (Array.to_list tuple))))
+             tuples
+         with Exit -> print_endline "  ..."))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Evaluate a conjunctive query (star shapes dispatch to MMJoin, other \
+          acyclic queries to Yannakakis).")
+    Term.(const run $ dataset $ input_file $ scale $ seed $ query_text)
+
+let export_cmd =
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Destination path (native format).")
+  in
+  let run name input scale seed out =
+    let r = load_source name input scale seed in
+    Jp_io.Relation_io.save_file r out;
+    Printf.printf "wrote %s tuples to %s\n"
+      (Jp_util.Tablefmt.big_int (Relation.size r))
+      out
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a dataset to a file in the native format.")
+    Term.(const run $ dataset $ input_file $ scale $ seed $ out)
+
+let stats_cmd =
+  let run name input scale seed =
+    let r = load_source name input scale seed in
+    let ch = Presets.characteristics r in
+    Printf.printf "tuples %s, sets %s, dom %s, avg size %.1f (min %d, max %d)\n"
+      (Jp_util.Tablefmt.big_int ch.Presets.tuples)
+      (Jp_util.Tablefmt.big_int ch.Presets.sets)
+      (Jp_util.Tablefmt.big_int ch.Presets.dom)
+      ch.Presets.avg_size ch.Presets.min_size ch.Presets.max_size;
+    Printf.printf "full 2-path self-join size: %s\n"
+      (Jp_util.Tablefmt.big_int (Relation.join_size_on_dst [ r; r ]))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Characteristics of a dataset or imported file.")
+    Term.(const run $ dataset $ input_file $ scale $ seed)
+
+let calibrate_cmd =
+  let run () =
+    let m = Jp_matrix.Cost.calibrate ~quick:false () in
+    Printf.printf "Ts (sequential access)      %.3e s\n" m.Jp_matrix.Cost.ts;
+    Printf.printf "Tm (allocation per 32B)     %.3e s\n" m.Jp_matrix.Cost.tm;
+    Printf.printf "TI (join tuple processing)  %.3e s\n" m.Jp_matrix.Cost.ti;
+    Printf.printf "count MM (per 62-bit word)  %.3e s\n" m.Jp_matrix.Cost.count_word;
+    Printf.printf "bool MM  (per 62-bit word)  %.3e s\n" m.Jp_matrix.Cost.bool_word;
+    Printf.printf "cores                       %d\n" m.Jp_matrix.Cost.cores
+  in
+  Cmd.v
+    (Cmd.info "calibrate" ~doc:"Measure the Table-1 machine constants.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "fast join-project query evaluation using matrix multiplication" in
+  let info = Cmd.info "joinproj" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            datasets_cmd;
+            explain_cmd;
+            join_cmd;
+            star_cmd;
+            ssj_cmd;
+            scj_cmd;
+            bsi_cmd;
+            query_cmd;
+            export_cmd;
+            stats_cmd;
+            calibrate_cmd;
+          ]))

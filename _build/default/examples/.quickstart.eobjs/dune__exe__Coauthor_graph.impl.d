@@ -1,0 +1,1 @@
+examples/coauthor_graph.ml: Array Joinproj Jp_baselines Jp_relation Jp_ssj Jp_util Jp_workload Printf

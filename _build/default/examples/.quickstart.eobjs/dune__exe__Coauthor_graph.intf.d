@@ -1,0 +1,1 @@
+examples/coauthor_graph.mli:

@@ -1,0 +1,1 @@
+examples/community_friends.ml: Joinproj Jp_baselines Jp_relation Jp_util Jp_workload Printf

@@ -1,0 +1,1 @@
+examples/compressed_view.ml: Array Joinproj Jp_baselines Jp_relation Jp_util Printf

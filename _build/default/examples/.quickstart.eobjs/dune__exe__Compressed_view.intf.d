@@ -1,0 +1,1 @@
+examples/compressed_view.mli:

@@ -1,0 +1,1 @@
+examples/containment_api.ml: Jp_bsi Jp_relation Jp_scj Jp_util Jp_workload List Printf

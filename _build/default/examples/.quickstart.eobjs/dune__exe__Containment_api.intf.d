@@ -1,0 +1,1 @@
+examples/containment_api.mli:

@@ -1,0 +1,1 @@
+examples/dynamic_view.ml: Jp_dynamic Jp_relation Jp_util Jp_workload Printf

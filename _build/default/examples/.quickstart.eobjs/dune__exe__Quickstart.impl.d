@@ -1,0 +1,1 @@
+examples/quickstart.ml: Joinproj Jp_relation Jp_util Jp_workload Printf

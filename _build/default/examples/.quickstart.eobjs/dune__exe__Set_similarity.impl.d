@@ -1,0 +1,1 @@
+examples/set_similarity.ml: Array Jp_relation Jp_ssj Jp_util Jp_workload Printf

@@ -1,0 +1,1 @@
+lib/baselines/bitset_engine.ml: Array Jp_relation Jp_util

@@ -1,0 +1,1 @@
+lib/baselines/bitset_engine.mli: Jp_relation

@@ -1,0 +1,1 @@
+lib/baselines/fulljoin.ml: Jp_relation Jp_wcoj

@@ -1,0 +1,1 @@
+lib/baselines/fulljoin.mli: Jp_relation

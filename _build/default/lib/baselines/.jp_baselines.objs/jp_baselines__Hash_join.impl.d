@@ -1,0 +1,1 @@
+lib/baselines/hash_join.ml: Array Hashtbl Jp_relation Jp_util

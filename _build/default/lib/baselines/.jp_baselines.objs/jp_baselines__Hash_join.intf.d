@@ -1,0 +1,1 @@
+lib/baselines/hash_join.mli: Jp_relation

@@ -1,0 +1,1 @@
+lib/baselines/sortmerge_join.ml: Array Jp_relation Jp_util

@@ -1,0 +1,1 @@
+lib/baselines/sortmerge_join.mli: Jp_relation

@@ -1,0 +1,20 @@
+(** "EmptyHeaded-like" baseline: set-intersection engine over hybrid
+    (bitset / sorted array) set layouts.
+
+    EmptyHeaded evaluates the 2-path projection as, for each x, the union
+    of its neighbours' inverted lists, using word-packed set
+    representations for dense sets — effectively a linear-algebra engine,
+    which is why the paper finds it competitive with MMJoin on the fully
+    dense Image dataset.  This module reproduces that design: inverted
+    lists of y values denser than a word threshold are materialized as
+    bitsets over dom(z); the per-x accumulator is a single bitset into
+    which dense lists are OR-ed wholesale and sparse lists inserted
+    element-wise. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val two_path :
+  ?dense_threshold:int -> r:Relation.t -> s:Relation.t -> unit -> Pairs.t
+(** π{_xz}(R ⋈ S).  [dense_threshold] (default 62: one word's worth) is
+    the inverted-list size above which a y's list is bit-packed. *)

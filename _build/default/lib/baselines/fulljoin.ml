@@ -1,0 +1,7 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Tuples = Jp_relation.Tuples
+
+let two_path ?(domains = 1) ~r ~s () = Jp_wcoj.Expand.project ~domains ~r ~s ()
+
+let star rels = Jp_wcoj.Star.project rels

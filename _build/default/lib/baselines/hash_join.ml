@@ -1,0 +1,43 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+let two_path ~r ~s =
+  (* Build: hash table y -> xs from R (simulating the build phase; the
+     relation's index is deliberately not reused). *)
+  let build : (int, Jp_util.Vec.t) Hashtbl.t = Hashtbl.create 1024 in
+  Relation.iter
+    (fun x y ->
+      match Hashtbl.find_opt build y with
+      | Some v -> Jp_util.Vec.push v x
+      | None ->
+        let v = Jp_util.Vec.create ~capacity:4 () in
+        Jp_util.Vec.push v x;
+        Hashtbl.add build y v)
+    r;
+  (* Probe with S and deduplicate (x, z) pairs in a hash set keyed by the
+     packed pair. *)
+  let nz = Relation.src_count s in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let per_x = Array.make (Relation.src_count r) 0 in
+  Relation.iter
+    (fun z y ->
+      match Hashtbl.find_opt build y with
+      | None -> ()
+      | Some xs ->
+        Jp_util.Vec.iter
+          (fun x ->
+            let key = (x * nz) + z in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.add seen key ();
+              per_x.(x) <- per_x.(x) + 1
+            end)
+          xs)
+    s;
+  let rows = Array.map (fun c -> Jp_util.Vec.create ~capacity:c ()) per_x in
+  Hashtbl.iter (fun key () -> Jp_util.Vec.push rows.(key / nz) (key mod nz)) seen;
+  Pairs.of_rows_unchecked
+    (Array.map
+       (fun v ->
+         Jp_util.Vec.sort_dedup v;
+         Jp_util.Vec.to_array v)
+       rows)

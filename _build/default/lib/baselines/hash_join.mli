@@ -1,0 +1,15 @@
+(** "Postgres-like" baseline: hash join on y followed by hash-based
+    deduplication of the projected pairs.
+
+    Mirrors what a conventional RDBMS plan does for
+    [SELECT DISTINCT R.x, S.z FROM R, S WHERE R.y = S.y]: build a hash
+    table on one side, probe with the other, then deduplicate the full join
+    result — paying hash-table insertion (and growth) for every one of the
+    |OUT{_⋈}| pre-projection tuples, which is exactly the cost the paper's
+    Figure 4a shows dominating on dense data. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val two_path : r:Relation.t -> s:Relation.t -> Pairs.t
+(** π{_xz}(R(x,y) ⋈ S(z,y)) via hash join + hash dedup. *)

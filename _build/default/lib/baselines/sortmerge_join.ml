@@ -1,0 +1,30 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+let two_path ~r ~s =
+  let nz = Relation.src_count s in
+  let out = Jp_util.Vec.create ~capacity:4096 () in
+  (* Both sides are y-sorted via their inverted indexes; a merge over y is
+     a scan over the shared dst domain. *)
+  let ny = min (Relation.dst_count r) (Relation.dst_count s) in
+  for y = 0 to ny - 1 do
+    let xs = Relation.adj_dst r y and zs = Relation.adj_dst s y in
+    Array.iter
+      (fun x ->
+        let base = x * nz in
+        Array.iter (fun z -> Jp_util.Vec.push out (base + z)) zs)
+      xs
+  done;
+  Jp_util.Vec.sort_dedup out;
+  (* Unpack the sorted keys into CSR rows. *)
+  let per_x = Array.make (Relation.src_count r) 0 in
+  Jp_util.Vec.iter (fun key -> per_x.(key / nz) <- per_x.(key / nz) + 1) out;
+  let rows = Array.map (fun c -> Array.make c 0) per_x in
+  let fill = Array.make (Relation.src_count r) 0 in
+  Jp_util.Vec.iter
+    (fun key ->
+      let x = key / nz in
+      rows.(x).(fill.(x)) <- key mod nz;
+      fill.(x) <- fill.(x) + 1)
+    out;
+  Pairs.of_rows_unchecked rows

@@ -1,0 +1,13 @@
+(** "MySQL-like" baseline: sort-merge join on y, then sort the projected
+    pair list to deduplicate.
+
+    The full pre-projection join result is materialized as packed (x, z)
+    keys and sorted — the "sorting the full join result is expensive since
+    it can be orders of magnitude larger than the projection" strategy the
+    paper benchmarks conventional engines at. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val two_path : r:Relation.t -> s:Relation.t -> Pairs.t
+(** π{_xz}(R(x,y) ⋈ S(z,y)) via merge join + sort dedup. *)

@@ -1,0 +1,1 @@
+lib/bsi/bsi.mli: Jp_relation

@@ -1,0 +1,80 @@
+module Relation = Jp_relation.Relation
+
+type strategy = Mm | Combinatorial
+
+let answer_one ~r ~s a b =
+  if a >= Relation.src_count r || b >= Relation.src_count s then false
+  else
+    Jp_util.Sorted.intersect_count (Relation.adj_src r a) (Relation.adj_src s b) > 0
+
+let answer_batch ?(domains = 1) ?(strategy = Mm) ~r ~s queries =
+  (* Filter both relations to the sets the batch mentions (Section 3.3's
+     "use the requests in the batch to filter R and S"). *)
+  let in_x = Array.make (Relation.src_count r) false in
+  let in_z = Array.make (Relation.src_count s) false in
+  Array.iter
+    (fun (a, b) ->
+      if a < Array.length in_x then in_x.(a) <- true;
+      if b < Array.length in_z then in_z.(b) <- true)
+    queries;
+  let rf = Relation.restrict_src r (fun a -> in_x.(a)) in
+  let sf = Relation.restrict_src s (fun b -> in_z.(b)) in
+  let pairs =
+    match strategy with
+    | Mm -> Joinproj.Two_path.project ~domains ~r:rf ~s:sf ()
+    | Combinatorial -> Jp_wcoj.Expand.project ~domains ~r:rf ~s:sf ()
+  in
+  Array.map (fun (a, b) -> Jp_relation.Pairs.mem pairs a b) queries
+
+let optimal_batch_size ~n ~rate =
+  if n < 1 || rate <= 0.0 then invalid_arg "Bsi.optimal_batch_size";
+  max 1 (int_of_float ((rate *. float_of_int n) ** 0.6))
+
+let predicted_latency ~n ~rate ~batch_size =
+  if batch_size < 1 || rate <= 0.0 then invalid_arg "Bsi.predicted_latency";
+  let c = float_of_int batch_size in
+  (c /. rate) +. (float_of_int n /. (c ** (2.0 /. 3.0)))
+
+type stats = {
+  batch_size : int;
+  batches : int;
+  avg_delay : float;
+  max_delay : float;
+  avg_processing : float;
+  units_needed : float;
+}
+
+let simulate ?(domains = 1) ?(strategy = Mm) ~r ~s ~queries ~rate ~batch_size () =
+  if batch_size < 1 then invalid_arg "Bsi.simulate: batch_size must be >= 1";
+  if rate <= 0.0 then invalid_arg "Bsi.simulate: rate must be positive";
+  let n = Array.length queries in
+  let batches = (n + batch_size - 1) / batch_size in
+  let total_delay = ref 0.0 and max_delay = ref 0.0 and total_proc = ref 0.0 in
+  for j = 0 to batches - 1 do
+    let lo = j * batch_size in
+    let hi = min n (lo + batch_size) in
+    let batch = Array.sub queries lo (hi - lo) in
+    let answers, proc =
+      Jp_util.Timer.time (fun () -> answer_batch ~domains ~strategy ~r ~s batch)
+    in
+    ignore answers;
+    total_proc := !total_proc +. proc;
+    (* the batch dispatches when its last query has arrived *)
+    let dispatch = float_of_int (hi - 1) /. rate in
+    for i = lo to hi - 1 do
+      let arrival = float_of_int i /. rate in
+      let delay = dispatch -. arrival +. proc in
+      total_delay := !total_delay +. delay;
+      if delay > !max_delay then max_delay := delay
+    done
+  done;
+  let period = float_of_int batch_size /. rate in
+  let avg_processing = !total_proc /. float_of_int batches in
+  {
+    batch_size;
+    batches;
+    avg_delay = !total_delay /. float_of_int n;
+    max_delay = !max_delay;
+    avg_processing;
+    units_needed = avg_processing /. period;
+  }

@@ -1,0 +1,1 @@
+lib/core/joinproj.ml: Estimator Factorized Optimizer Partition Star Two_path

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Jp_relation Jp_util Seq

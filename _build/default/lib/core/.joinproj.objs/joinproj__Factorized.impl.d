@@ -1,0 +1,1 @@
+lib/core/factorized.ml: Array Hashtbl Jp_relation Jp_util Jp_wcoj List Optimizer Partition Seq

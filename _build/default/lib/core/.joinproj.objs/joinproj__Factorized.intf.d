@@ -1,0 +1,1 @@
+lib/core/factorized.mli: Jp_relation Optimizer

@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Array Estimator Float Jp_matrix Jp_relation Printf

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Jp_matrix Jp_relation

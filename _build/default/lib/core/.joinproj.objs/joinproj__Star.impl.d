@@ -1,0 +1,1 @@
+lib/core/star.ml: Array Hashtbl Jp_matrix Jp_relation Jp_util Jp_wcoj Seq

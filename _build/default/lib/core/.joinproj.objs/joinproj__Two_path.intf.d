@@ -1,0 +1,1 @@
+lib/core/two_path.mli: Jp_relation Optimizer

@@ -1,0 +1,166 @@
+module Relation = Jp_relation.Relation
+module Stats = Jp_relation.Stats
+module Cost = Jp_matrix.Cost
+
+type decision = Wcoj | Partitioned of { d1 : int; d2 : int }
+
+type plan = {
+  decision : decision;
+  est_out : int;
+  join_size : int;
+  est_seconds : float;
+}
+
+(* Indexes consulted by the cost loop; built once per planning call in
+   O(N log N) (Section 5, "Indexing relations"). *)
+type indexes = {
+  n : int; (* max(|R|, |S|) *)
+  dom_x : int;
+  dom_z : int;
+  (* y side: keyed by min(deg_R y, deg_S y), since y is light iff that
+     minimum is <= d1 *)
+  y_by_min : Stats.t; (* weights: deg_R y * deg_S y = expansion work *)
+  y_wr : Stats.t; (* weights: deg_R y — mass of R tuples on light y *)
+  y_ws : Stats.t; (* weights: deg_S y *)
+  x_stats : Stats.t; (* keyed by deg_R x, weights: expansion work of x *)
+  z_stats : Stats.t;
+}
+
+let expansion_weights rel other =
+  (* weight(a) = sum over b in adj(a) of deg_other(b): the work to expand a. *)
+  Array.init (Relation.src_count rel) (fun a ->
+      Array.fold_left
+        (fun acc b ->
+          if b < Relation.dst_count other then acc + Relation.deg_dst other b else acc)
+        0 (Relation.adj_src rel a))
+
+let build_indexes ~r ~s =
+  let ny = max (Relation.dst_count r) (Relation.dst_count s) in
+  let deg_ry y = if y < Relation.dst_count r then Relation.deg_dst r y else 0 in
+  let deg_sy y = if y < Relation.dst_count s then Relation.deg_dst s y else 0 in
+  let min_deg = Array.init ny (fun y -> min (deg_ry y) (deg_sy y)) in
+  let prod = Array.init ny (fun y -> deg_ry y * deg_sy y) in
+  let wr = Array.init ny (fun y -> deg_ry y) in
+  let ws = Array.init ny (fun y -> deg_sy y) in
+  {
+    n = max (Relation.size r) (Relation.size s);
+    dom_x = Estimator.active_src r;
+    dom_z = Estimator.active_src s;
+    y_by_min = Stats.of_degrees ~weights:prod min_deg;
+    y_wr = Stats.of_degrees ~weights:wr min_deg;
+    y_ws = Stats.of_degrees ~weights:ws min_deg;
+    x_stats = Stats.of_degrees ~weights:(expansion_weights r s) (Relation.degrees_src r);
+    z_stats = Stats.of_degrees ~weights:(expansion_weights s r) (Relation.degrees_src s);
+  }
+
+(* Heavy matrix dimensions for thresholds (d1, d2).  [v] is exact;
+   [u]/[w] bound the rows/columns by the Δ₂ heavy-value count (infinity
+   in counts mode, where every endpoint adjacent to a heavy y joins the
+   matrix) and by the number of endpoints adjacent to any heavy y. *)
+let tuples_on_heavy_y idx stats ~d1 =
+  Stats.weight_le stats (Stats.max_degree idx.y_by_min) - Stats.weight_le stats d1
+
+let heavy_dims ~counts_mode idx ~d1 ~d2 =
+  let v = Stats.count_gt idx.y_by_min d1 in
+  let r_touched = min idx.dom_x (tuples_on_heavy_y idx idx.y_wr ~d1) in
+  let s_touched = min idx.dom_z (tuples_on_heavy_y idx idx.y_ws ~d1) in
+  if counts_mode then (r_touched, v, s_touched)
+  else
+    ( min (Stats.count_gt idx.x_stats d2) r_touched,
+      v,
+      min (Stats.count_gt idx.z_stats d2) s_touched )
+
+(* In counts mode there are no R-/S- sub-joins: the combinatorial side
+   only expands light-y tuples. *)
+let light_seconds ~counts_mode (m : Cost.machine) idx ~d1 ~d2 =
+  let light_y_work = Stats.weight_le idx.y_by_min d1 in
+  let endpoint_work =
+    if counts_mode then 0
+    else Stats.weight_le idx.x_stats d2 + Stats.weight_le idx.z_stats d2
+  in
+  (m.ti *. float_of_int (light_y_work + endpoint_work))
+  +. (m.tm *. float_of_int idx.dom_x)
+
+let heavy_seconds (m : Cost.machine) kind ~domains (u, v, w) =
+  if u = 0 || v = 0 || w = 0 then 0.0
+  else Cost.mhat m kind ~u ~v ~w ~cores:domains
+
+let wcoj_seconds (m : Cost.machine) ~join_size ~dom_x =
+  (m.ti *. float_of_int join_size) +. (m.tm *. float_of_int dom_x)
+
+(* Geometric descent on d1 (Algorithm 3): stop as soon as the cost stops
+   improving, return the previous candidate. *)
+let descend ~cost ~start =
+  let shrink d = max 1 (min (d - 1) (int_of_float (0.95 *. float_of_int d))) in
+  let rec go ~best_d ~best_cost d =
+    let c = cost d in
+    if c > best_cost then (best_d, best_cost)
+    else if d = 1 then (d, c)
+    else go ~best_d:d ~best_cost:c (shrink d)
+  in
+  let c0 = cost start in
+  if start = 1 then (start, c0) else go ~best_d:start ~best_cost:c0 (shrink start)
+
+let d2_for idx ~est_out d1 =
+  (* N·Δ₁ = |OUT|·Δ₂ (line 9 of Algorithm 3) *)
+  max 1 (min idx.n (idx.n * d1 / max 1 est_out))
+
+let generic_plan ?machine ?(domains = 1) ~kind ?(wcoj_factor = 20) ~counts_mode
+    ~tie_d2 ~r ~s () =
+  let m = match machine with Some m -> m | None -> Cost.machine () in
+  let join_size = Estimator.join_size ~r ~s in
+  let est_out = Estimator.estimate ~r ~s in
+  let idx = build_indexes ~r ~s in
+  let wcoj_cost = wcoj_seconds m ~join_size ~dom_x:idx.dom_x in
+  if join_size <= wcoj_factor * idx.n then
+    { decision = Wcoj; est_out; join_size; est_seconds = wcoj_cost }
+  else begin
+    let cost d1 =
+      let d2 = tie_d2 idx ~est_out d1 in
+      light_seconds ~counts_mode m idx ~d1 ~d2
+      +. heavy_seconds m kind ~domains (heavy_dims ~counts_mode idx ~d1 ~d2)
+    in
+    let start = max 1 (Stats.max_degree idx.y_by_min) in
+    let d1, best_cost = descend ~cost ~start in
+    let d2 = tie_d2 idx ~est_out d1 in
+    if best_cost >= wcoj_cost || d1 >= start then
+      { decision = Wcoj; est_out; join_size; est_seconds = wcoj_cost }
+    else
+      {
+        decision = Partitioned { d1; d2 };
+        est_out;
+        join_size;
+        est_seconds = best_cost;
+      }
+  end
+
+let plan ?machine ?domains ?(kind = Cost.Boolean) ?wcoj_factor ~r ~s () =
+  generic_plan ?machine ?domains ~kind ?wcoj_factor ~counts_mode:false
+    ~tie_d2:d2_for ~r ~s ()
+
+let plan_counts ?machine ?domains ?wcoj_factor ~r ~s () =
+  (* Only the join variable is partitioned: every x/z counts as light, so
+     d2 is pinned to the maximal degree. *)
+  let max_d2 idx ~est_out:_ _d1 = idx.n in
+  generic_plan ?machine ?domains ~kind:Cost.Count ?wcoj_factor ~counts_mode:true
+    ~tie_d2:max_d2 ~r ~s ()
+
+let theoretical_thresholds ~n ~out =
+  if n < 1 || out < 1 then invalid_arg "Optimizer.theoretical_thresholds";
+  let nf = float_of_int n and outf = float_of_int out in
+  let clamp d = max 1 (min n (int_of_float (Float.round d))) in
+  if out <= n then
+    (clamp (outf ** (1.0 /. 3.0)), clamp (nf /. (outf ** (2.0 /. 3.0))))
+  else begin
+    let d = (2.0 *. nf *. nf /. (nf +. outf)) ** (1.0 /. 3.0) in
+    (clamp d, clamp d)
+  end
+
+let explain p =
+  let head =
+    match p.decision with
+    | Wcoj -> "plan=wcoj"
+    | Partitioned { d1; d2 } -> Printf.sprintf "plan=mm(d1=%d,d2=%d)" d1 d2
+  in
+  Printf.sprintf "%s est_out=%d join_size=%d est=%.4fs" head p.est_out p.join_size
+    p.est_seconds

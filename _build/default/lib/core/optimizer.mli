@@ -1,0 +1,69 @@
+(** The cost-based optimizer of Section 5 (Algorithm 3).
+
+    Decides between plain worst-case-optimal evaluation and the partitioned
+    MM algorithm, and in the latter case picks the degree thresholds
+    (Δ₁, Δ₂) by geometric descent over Δ₁ with Δ₂ tied by
+    N·Δ₁ = |OUT|·Δ₂, costing each candidate from:
+
+    - the Section-5 degree indexes (exact light-side work, O(log N) per
+      probe — see {!Jp_relation.Stats});
+    - the calibrated matrix-multiplication estimate M̂ and the machine
+      constants T{_s}, T{_m}, T{_I} (see {!Jp_matrix.Cost}).
+
+    As in the paper, inputs whose full join is at most [wcoj_factor]·N
+    (default 20) short-circuit to the worst-case-optimal plan, and the
+    descent stops the first time the estimated cost increases
+    (the paper's footnote fixes the per-step factor; we use ×0.95 per
+    step, i.e. ε = 0.05 in Algorithm 3's notation). *)
+
+module Relation = Jp_relation.Relation
+module Cost = Jp_matrix.Cost
+
+type decision =
+  | Wcoj  (** evaluate the full join with the stamp-vector expansion *)
+  | Partitioned of { d1 : int; d2 : int }
+      (** Algorithm 1 with these thresholds *)
+
+type plan = {
+  decision : decision;
+  est_out : int;  (** estimated |OUT| *)
+  join_size : int;  (** exact |OUT{_⋈}| *)
+  est_seconds : float;  (** estimated cost of the chosen plan *)
+}
+
+val plan :
+  ?machine:Cost.machine ->
+  ?domains:int ->
+  ?kind:Cost.kind ->
+  ?wcoj_factor:int ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  plan
+(** Algorithm 3.  [kind] selects the matrix kernel the heavy part would
+    use (default [Boolean]; use [Count] when multiplicities are needed).
+    [machine] defaults to the lazily calibrated singleton. *)
+
+val plan_counts :
+  ?machine:Cost.machine ->
+  ?domains:int ->
+  ?wcoj_factor:int ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  plan
+(** Variant for the exact-count evaluation used by SSJ/SCJ, where only the
+    join variable is partitioned: the returned [d2] is the maximal degree
+    (every x/z is treated as light outside the matrix). *)
+
+val theoretical_thresholds : n:int -> out:int -> int * int
+(** The closed-form thresholds of Section 3.1's analysis (assuming ω = 2),
+    used by the ABL-THRESH ablation as a cost-model-free comparison point:
+
+    - |OUT| ≤ N (Case 1): Δ₁ = |OUT|^⅓, Δ₂ = N/|OUT|^⅔;
+    - |OUT| > N (Case 2): Δ₁ = Δ₂ = (2N²/(N+|OUT|))^⅓.
+
+    Both are clamped to [1, N]. *)
+
+val explain : plan -> string
+(** One-line human-readable rendering for the CLI and the benches. *)

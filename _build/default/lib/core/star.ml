@@ -1,0 +1,192 @@
+module Relation = Jp_relation.Relation
+module Tuples = Jp_relation.Tuples
+module Boolmat = Jp_matrix.Boolmat
+module Vec = Jp_util.Vec
+
+type strategy = Matrix | Combinatorial
+
+let full_join_size rels = Jp_wcoj.Star.join_size rels
+
+(* Engineering heuristic (the paper derives closed forms per |OUT| regime,
+   Example 4): tie both thresholds to the average y-degree sqrt(J/N), so
+   the light enumeration N·Δ₁^(k-1) and the heavy matrix shrink together;
+   clamp to a sane range. *)
+let choose_thresholds rels =
+  let j = full_join_size rels in
+  let n = Array.fold_left (fun acc r -> max acc (Relation.size r)) 1 rels in
+  let d = int_of_float (sqrt (float_of_int j /. float_of_int n)) in
+  let d = max 2 (min 256 d) in
+  (d, d)
+
+(* Bit layout for packing a tuple group into one int key. *)
+let bits_needed dim =
+  let rec go b = if 1 lsl b >= dim then b else go (b + 1) in
+  if dim <= 1 then 1 else go 1
+
+let group_layout dims =
+  let shifts = Array.make (Array.length dims) 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun i d ->
+      shifts.(i) <- !off;
+      off := !off + bits_needed d)
+    dims;
+  if !off > 62 then None else Some shifts
+
+exception Matrix_overflow
+
+(* Enumerate the cross product of [lists], packing each combination with
+   [shifts] and passing it to [emit]. *)
+let iter_combos lists shifts emit =
+  let k = Array.length lists in
+  let rec go i key =
+    if i = k then emit key
+    else Array.iter (fun a -> go (i + 1) (key lor (a lsl shifts.(i)))) lists.(i)
+  in
+  go 0 0
+
+let unpack_into shifts dims key tuple ~offset =
+  Array.iteri
+    (fun i shift ->
+      tuple.(offset + i) <- (key lsr shift) land ((1 lsl bits_needed dims.(i)) - 1))
+    shifts
+
+(* The heavy residue via the V·W matrix product of Section 3.2. *)
+let heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k ~combo_cap =
+  let m = (k + 1) / 2 in
+  let prefix_dims = Array.sub dims 0 m in
+  let suffix_dims = Array.sub dims m (k - m) in
+  match (group_layout prefix_dims, group_layout suffix_dims) with
+  | None, _ | _, None -> raise Matrix_overflow
+  | Some prefix_shifts, Some suffix_shifts ->
+    let prefix_index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let suffix_index : (int, int) Hashtbl.t = Hashtbl.create 1024 in
+    let prefix_keys = Vec.create () and suffix_keys = Vec.create () in
+    let intern index keys key =
+      match Hashtbl.find_opt index key with
+      | Some i -> i
+      | None ->
+        let i = Hashtbl.length index in
+        if i >= combo_cap then raise Matrix_overflow;
+        Hashtbl.add index key i;
+        Vec.push keys key;
+        i
+    in
+    (* First pass: assign row/column indexes. *)
+    Array.iter
+      (fun y ->
+        let lists : int array array = heavy_lists y in
+        iter_combos (Array.sub lists 0 m) prefix_shifts (fun key ->
+            ignore (intern prefix_index prefix_keys key));
+        iter_combos (Array.sub lists m (k - m)) suffix_shifts (fun key ->
+            ignore (intern suffix_index suffix_keys key)))
+      qualifying_ys;
+    let u = Hashtbl.length prefix_index in
+    let w = Hashtbl.length suffix_index in
+    let v = Array.length qualifying_ys in
+    if u = 0 || w = 0 || v = 0 then ()
+    else begin
+      let mat_v = Boolmat.create ~rows:u ~cols:v in
+      let mat_w = Boolmat.create ~rows:v ~cols:w in
+      Array.iteri
+        (fun j y ->
+          let lists = heavy_lists y in
+          iter_combos (Array.sub lists 0 m) prefix_shifts (fun key ->
+              Boolmat.set mat_v (Hashtbl.find prefix_index key) j);
+          iter_combos (Array.sub lists m (k - m)) suffix_shifts (fun key ->
+              Boolmat.set mat_w j (Hashtbl.find suffix_index key)))
+        qualifying_ys;
+      (* Stream the product V·W row by row: materializing the full u x w
+         bit-matrix would need u·w bits (it OOMs on large heavy residues);
+         one w-bit accumulator gives the same word-op count in O(w)
+         memory. *)
+      let acc = Jp_util.Bitset.create w in
+      let tuple = Array.make k 0 in
+      for i = 0 to u - 1 do
+        Jp_util.Bitset.clear acc;
+        Boolmat.iter_row mat_v i (fun j ->
+            Jp_util.Bitset.union_into ~dst:acc (Boolmat.row mat_w j));
+        if not (Jp_util.Bitset.is_empty acc) then begin
+          unpack_into prefix_shifts prefix_dims (Vec.get prefix_keys i) tuple
+            ~offset:0;
+          Jp_util.Bitset.iter
+            (fun l ->
+              unpack_into suffix_shifts suffix_dims (Vec.get suffix_keys l) tuple
+                ~offset:m;
+              Tuples.add builder tuple)
+            acc
+        end
+      done
+    end
+
+let project ?domains:_ ?(strategy = Matrix) ?thresholds rels =
+  let k = Array.length rels in
+  if k < 2 then invalid_arg "Star.project: arity must be >= 2";
+  let d1, d2 = match thresholds with Some t -> t | None -> choose_thresholds rels in
+  let dims = Array.map Relation.src_count rels in
+  let builder = Tuples.create_builder ~arity:k ~dims in
+  let add tuple _y = Tuples.add builder tuple in
+  (* y-degree per relation, total over the shared y space *)
+  let ny = Array.fold_left (fun acc r -> max acc (Relation.dst_count r)) 0 rels in
+  let deg_y i y = if y < Relation.dst_count rels.(i) then Relation.deg_dst rels.(i) y else 0 in
+  let light_in_all_others j y =
+    let ok = ref true in
+    for l = 0 to k - 1 do
+      if l <> j && deg_y l y > d1 then ok := false
+    done;
+    !ok
+  in
+  (* Step 1: light-x sub-joins. *)
+  for j = 0 to k - 1 do
+    Jp_wcoj.Star.iter_full
+      ~restrict:(j, fun c _ -> Relation.deg_src rels.(j) c <= d2)
+      rels add
+  done;
+  (* Step 2: light-y sub-joins. *)
+  for j = 0 to k - 1 do
+    Jp_wcoj.Star.iter_full ~restrict:(j, fun _ y -> light_in_all_others j y) rels add
+  done;
+  (* Step 3: the all-heavy residue.  R_i^+ keeps tuples with heavy x_i and
+     y heavy in at least one other relation. *)
+  let heavy_lists y =
+    Array.mapi
+      (fun i r ->
+        if light_in_all_others i y then [||]
+        else
+          Array.of_seq
+            (Seq.filter
+               (fun a -> Relation.deg_src r a > d2)
+               (Array.to_seq (Relation.adj_dst r y))))
+      rels
+  in
+  let qualifying = Vec.create () in
+  for y = 0 to ny - 1 do
+    let lists = heavy_lists y in
+    if Array.for_all (fun l -> Array.length l > 0) lists then Vec.push qualifying y
+  done;
+  let qualifying_ys = Vec.to_array qualifying in
+  let combinatorial_heavy () =
+    let tuple = Array.make k 0 in
+    Array.iter
+      (fun y ->
+        let lists = heavy_lists y in
+        let rec fill i =
+          if i = k then Tuples.add builder tuple
+          else
+            Array.iter
+              (fun a ->
+                tuple.(i) <- a;
+                fill (i + 1))
+              lists.(i)
+        in
+        fill 0)
+      qualifying_ys
+  in
+  (match strategy with
+  | Combinatorial -> combinatorial_heavy ()
+  | Matrix -> (
+    try
+      heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k
+        ~combo_cap:5_000_000
+    with Matrix_overflow -> combinatorial_heavy ()));
+  Tuples.build builder

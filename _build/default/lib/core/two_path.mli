@@ -1,0 +1,65 @@
+(** Algorithm 1: output-sensitive evaluation of
+    Q̈(x,z) = R(x,y), S(z,y) — the paper's core contribution.
+
+    The tuple space is split by the degree thresholds of {!Partition}:
+
+    + light sub-joins R⁻ ⋈ S and R ⋈ S⁻ are expanded with the
+      worst-case-optimal stamp-vector join (their pre-projection size is
+      bounded by N·Δ₁ + |OUT|·Δ₂);
+    + the all-heavy residue is evaluated as a matrix product of the
+      adjacency matrices of R⁺ and S⁺;
+    + the parts are merged with per-x deduplication (a pair can be
+      discovered both by a light witness and by the matrix, so the union
+      is not disjoint — the merge handles it).
+
+    [Combinatorial] replaces step 2 with the same stamp-vector expansion
+    restricted to heavy tuples: that is the paper's {b Non-MMJoin}
+    baseline (the Lemma-2-style combinatorial output-sensitive
+    algorithm), sharing every other code path with {b MMJoin}. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Counted_pairs = Jp_relation.Counted_pairs
+
+type strategy =
+  | Matrix  (** heavy part via {!Jp_matrix.Boolmat.mul} / {!Jp_matrix.Intmat.mul} *)
+  | Combinatorial  (** heavy part via stamp-vector expansion (Non-MMJoin) *)
+
+val project :
+  ?domains:int ->
+  ?strategy:strategy ->
+  ?plan:Optimizer.plan ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  Pairs.t
+(** π{_xz}(R ⋈ S).  Without [plan], Algorithm 3 plans the query first
+    (including the possible decision to run the plain worst-case-optimal
+    join). *)
+
+val project_counts :
+  ?domains:int ->
+  ?strategy:strategy ->
+  ?plan:Optimizer.plan ->
+  ?matrix_cell_cap:int ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  Counted_pairs.t
+(** Like {!project} but with exact witness multiplicities.  Here only the
+    join variable is partitioned (a pair's witnesses may be split between
+    the light and heavy parts, so per-pair counts from both sides are
+    summed — see DESIGN.md); plans should come from
+    {!Optimizer.plan_counts}.  If the count matrices would exceed
+    [matrix_cell_cap] cells (default 2·10⁸) the heavy part silently falls
+    back to the combinatorial strategy. *)
+
+val project_with_plan_info :
+  ?domains:int ->
+  ?strategy:strategy ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  Pairs.t * Optimizer.plan
+(** {!project} that also returns the plan it chose (for EXPLAIN-style
+    reporting in the CLI and benches). *)

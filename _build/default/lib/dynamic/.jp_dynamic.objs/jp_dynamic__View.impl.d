@@ -1,0 +1,1 @@
+lib/dynamic/view.ml: Array Hashtbl Jp_relation List Option

@@ -1,0 +1,1 @@
+lib/dynamic/view.mli: Jp_relation

@@ -1,0 +1,117 @@
+(* Dynamic adjacency: id -> int hash-set of partners, grown on demand.
+   Sorted arrays would force O(deg) shifts per update, so the dynamic side
+   trades the static representation's cache behaviour for O(1) updates. *)
+module Adj = struct
+  type t = (int, (int, unit) Hashtbl.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let partners t v =
+    match Hashtbl.find_opt t v with
+    | Some set -> set
+    | None ->
+      let set = Hashtbl.create 4 in
+      Hashtbl.add t v set;
+      set
+
+  let mem t v w =
+    match Hashtbl.find_opt t v with Some set -> Hashtbl.mem set w | None -> false
+
+  let add t v w = Hashtbl.replace (partners t v) w ()
+
+  let remove t v w =
+    match Hashtbl.find_opt t v with Some set -> Hashtbl.remove set w | None -> ()
+
+  let iter_partners t v f =
+    match Hashtbl.find_opt t v with
+    | Some set -> Hashtbl.iter (fun w () -> f w) set
+    | None -> ()
+end
+
+type t = {
+  r_fwd : Adj.t; (* x -> ys *)
+  r_bwd : Adj.t; (* y -> xs *)
+  s_fwd : Adj.t; (* z -> ys *)
+  s_bwd : Adj.t; (* y -> zs *)
+  counts : (int * int, int) Hashtbl.t; (* (x,z) -> witnesses > 0 *)
+  mutable live : int; (* |OUT| *)
+}
+
+let create () =
+  {
+    r_fwd = Adj.create ();
+    r_bwd = Adj.create ();
+    s_fwd = Adj.create ();
+    s_bwd = Adj.create ();
+    counts = Hashtbl.create 1024;
+    live = 0;
+  }
+
+let bump t x z delta =
+  let key = (x, z) in
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.counts key) in
+  let next = current + delta in
+  if next < 0 then invalid_arg "View: witness count underflow (internal)";
+  if current = 0 && next > 0 then t.live <- t.live + 1;
+  if current > 0 && next = 0 then t.live <- t.live - 1;
+  if next = 0 then Hashtbl.remove t.counts key else Hashtbl.replace t.counts key next
+
+let insert_r t a b =
+  if not (Adj.mem t.r_fwd a b) then begin
+    Adj.add t.r_fwd a b;
+    Adj.add t.r_bwd b a;
+    (* delta: every z currently joined to b gains a witness with a *)
+    Adj.iter_partners t.s_bwd b (fun z -> bump t a z 1)
+  end
+
+let insert_s t z b =
+  if not (Adj.mem t.s_fwd z b) then begin
+    Adj.add t.s_fwd z b;
+    Adj.add t.s_bwd b z;
+    Adj.iter_partners t.r_bwd b (fun x -> bump t x z 1)
+  end
+
+let delete_r t a b =
+  if Adj.mem t.r_fwd a b then begin
+    Adj.remove t.r_fwd a b;
+    Adj.remove t.r_bwd b a;
+    Adj.iter_partners t.s_bwd b (fun z -> bump t a z (-1))
+  end
+
+let delete_s t z b =
+  if Adj.mem t.s_fwd z b then begin
+    Adj.remove t.s_fwd z b;
+    Adj.remove t.s_bwd b z;
+    Adj.iter_partners t.r_bwd b (fun x -> bump t x z (-1))
+  end
+
+let init ~r ~s =
+  let t = create () in
+  (* load S first so each R insertion's delta is complete by construction
+     order; order does not matter for correctness, only locality *)
+  Jp_relation.Relation.iter (fun z b -> insert_s t z b) s;
+  Jp_relation.Relation.iter (fun a b -> insert_r t a b) r;
+  t
+
+let mem t x z = Hashtbl.mem t.counts (x, z)
+
+let count t = t.live
+
+let witnesses t x z = Option.value ~default:0 (Hashtbl.find_opt t.counts (x, z))
+
+let iter f t = Hashtbl.iter (fun (x, z) k -> f x z k) t.counts
+
+let to_counted_pairs t =
+  let max_x = ref 0 in
+  iter (fun x _ _ -> if x >= !max_x then max_x := x + 1) t;
+  let per_x = Array.make (max 1 !max_x) [] in
+  iter (fun x z k -> per_x.(x) <- (z, k) :: per_x.(x)) t;
+  let rows =
+    Array.map
+      (fun entries ->
+        let sorted = List.sort compare entries in
+        ( Array.of_list (List.map fst sorted),
+          Array.of_list (List.map snd sorted) ))
+      per_x
+  in
+  Jp_relation.Counted_pairs.of_rows_unchecked rows

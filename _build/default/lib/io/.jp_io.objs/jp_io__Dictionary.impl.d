@@ -1,0 +1,1 @@
+lib/io/dictionary.ml: Array Hashtbl

@@ -1,0 +1,1 @@
+lib/io/relation_io.ml: Dictionary Fun Jp_relation Jp_util List Printf String

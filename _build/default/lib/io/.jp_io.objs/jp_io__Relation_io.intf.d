@@ -1,0 +1,1 @@
+lib/io/relation_io.mli: Dictionary Jp_relation

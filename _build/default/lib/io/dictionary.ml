@@ -1,0 +1,41 @@
+type t = { ids : (string, int) Hashtbl.t; mutable names : string array; mutable n : int }
+
+let create () = { ids = Hashtbl.create 1024; names = Array.make 16 ""; n = 0 }
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+    let id = t.n in
+    if id = Array.length t.names then begin
+      let grown = Array.make (2 * Array.length t.names) "" in
+      Array.blit t.names 0 grown 0 t.n;
+      t.names <- grown
+    end;
+    t.names.(id) <- s;
+    t.n <- t.n + 1;
+    Hashtbl.add t.ids s id;
+    id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= t.n then invalid_arg "Dictionary.name: unassigned id";
+  t.names.(id)
+
+let size t = t.n
+
+let save t oc =
+  for id = 0 to t.n - 1 do
+    output_string oc t.names.(id);
+    output_char oc '\n'
+  done
+
+let load ic =
+  let t = create () in
+  (try
+     while true do
+       ignore (intern t (input_line ic))
+     done
+   with End_of_file -> ());
+  t

@@ -1,0 +1,26 @@
+(** Relation persistence.
+
+    Two formats:
+
+    - the native text format (versioned header, id-space sizes, one edge
+      per line) — lossless round-trip of a {!Relation.t};
+    - TSV import for external string-keyed data: two whitespace-separated
+      columns per line, dictionary-encoded on the fly (the layer the CLI's
+      [import] command uses). *)
+
+module Relation = Jp_relation.Relation
+
+val save : Relation.t -> out_channel -> unit
+
+val load : in_channel -> (Relation.t, string) result
+(** Errors on a bad header, malformed lines, or out-of-range ids. *)
+
+val save_file : Relation.t -> string -> unit
+
+val load_file : string -> (Relation.t, string) result
+
+val import_tsv :
+  in_channel -> (Relation.t * Dictionary.t * Dictionary.t, string) result
+(** Reads [src <ws> dst] lines ('#'-prefixed lines and blank lines are
+    skipped); returns the relation plus the source/destination
+    dictionaries. *)

@@ -1,0 +1,1 @@
+lib/matrix/boolmat.ml: Array Intmat Jp_parallel Jp_util

@@ -1,0 +1,1 @@
+lib/matrix/boolmat.mli: Intmat Jp_util

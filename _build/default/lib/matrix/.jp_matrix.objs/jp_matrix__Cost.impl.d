@@ -1,0 +1,1 @@
+lib/matrix/cost.ml: Array Boolmat Jp_parallel Jp_util Sys Unix

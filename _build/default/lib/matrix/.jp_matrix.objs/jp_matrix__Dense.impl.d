@@ -1,0 +1,1 @@
+lib/matrix/dense.ml: Array Jp_parallel

@@ -1,0 +1,1 @@
+lib/matrix/intmat.mli:

@@ -1,0 +1,57 @@
+type t = { data : float array array; rows : int; cols : int }
+
+let create ~rows ~cols =
+  if rows < 0 || cols < 0 then invalid_arg "Dense.create";
+  { data = Array.init rows (fun _ -> Array.make cols 0.0); rows; cols }
+
+let of_arrays data =
+  let rows = Array.length data in
+  let cols = if rows = 0 then 0 else Array.length data.(0) in
+  Array.iter (fun r -> if Array.length r <> cols then invalid_arg "Dense.of_arrays: ragged") data;
+  { data; rows; cols }
+
+let get m i j = m.data.(i).(j)
+
+let set m i j x = m.data.(i).(j) <- x
+
+let dims m = (m.rows, m.cols)
+
+(* i-k-j loop: the inner j-loop is a saxpy over contiguous rows, which the
+   compiler keeps unboxed; [k] is blocked so the active slice of [b] stays
+   in cache. *)
+let block = 64
+
+let mul_rows a b c lo hi =
+  let n = a.cols and w = b.cols in
+  for k0 = 0 to (n - 1) / block do
+    let kmin = k0 * block and kmax = min n (k0 * block + block) in
+    for i = lo to hi - 1 do
+      let arow = Array.unsafe_get a.data i in
+      let crow = Array.unsafe_get c.data i in
+      for k = kmin to kmax - 1 do
+        let aik = Array.unsafe_get arow k in
+        if aik <> 0.0 then begin
+          let brow = Array.unsafe_get b.data k in
+          for j = 0 to w - 1 do
+            Array.unsafe_set crow j (Array.unsafe_get crow j +. (aik *. Array.unsafe_get brow j))
+          done
+        end
+      done
+    done
+  done
+
+let mul ?(domains = 1) a b =
+  if a.cols <> b.rows then invalid_arg "Dense.mul: dimension mismatch";
+  let c = create ~rows:a.rows ~cols:b.cols in
+  if domains <= 1 then mul_rows a b c 0 a.rows
+  else
+    Jp_parallel.Pool.parallel_for_ranges ~domains ~lo:0 ~hi:a.rows (fun lo hi ->
+        mul_rows a b c lo hi);
+  c
+
+let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+
+let frobenius m =
+  let s = ref 0.0 in
+  Array.iter (Array.iter (fun x -> s := !s +. (x *. x))) m.data;
+  sqrt !s

@@ -1,0 +1,29 @@
+(** Dense float matrices with a blocked multiply kernel.
+
+    This is the stand-in for the paper's Eigen/MKL SGEMM: a cache-blocked
+    i-k-j triple loop over unboxed [float array] rows, parallelized over row
+    blocks with zero coordination (the property the paper exploits for
+    near-linear multicore scaling in Figure 3b). *)
+
+type t = private { data : float array array; rows : int; cols : int }
+
+val create : rows:int -> cols:int -> t
+(** All-zeros matrix. *)
+
+val of_arrays : float array array -> t
+(** Validates rectangularity; takes ownership of the arrays. *)
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val dims : t -> int * int
+
+val mul : ?domains:int -> t -> t -> t
+(** [mul a b] is the matrix product; [a.cols] must equal [b.rows].
+    [domains] (default 1) distributes row blocks over that many domains. *)
+
+val equal : t -> t -> bool
+
+val frobenius : t -> float
+(** Frobenius norm; handy for quick equality diagnostics in tests. *)

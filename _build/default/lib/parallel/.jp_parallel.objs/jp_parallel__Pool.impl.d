@@ -1,0 +1,1 @@
+lib/parallel/pool.ml: Atomic Domain List Printexc

@@ -1,0 +1,86 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+let default_chunk ~domains ~lo ~hi =
+  let span = hi - lo in
+  max 1 (span / (domains * 8))
+
+(* Run [worker ()] on [domains] domains (including the calling one) and
+   re-raise the first captured exception after everyone joined. *)
+let run_workers ~domains worker =
+  if domains <= 1 then worker ()
+  else begin
+    let failure = Atomic.make None in
+    let guarded () =
+      try worker ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
+    let others = List.init (domains - 1) (fun _ -> Domain.spawn guarded) in
+    guarded ();
+    List.iter Domain.join others;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let parallel_for_ranges ~domains ?chunk ~lo ~hi body =
+  if hi > lo then
+    if domains <= 1 then body lo hi
+    else begin
+      let chunk =
+        match chunk with Some c when c > 0 -> c | _ -> default_chunk ~domains ~lo ~hi
+      in
+      let next = Atomic.make lo in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= hi then continue := false
+          else body start (min hi (start + chunk))
+        done
+      in
+      run_workers ~domains worker
+    end
+
+let parallel_for ~domains ?chunk ~lo ~hi body =
+  parallel_for_ranges ~domains ?chunk ~lo ~hi (fun a b ->
+      for i = a to b - 1 do
+        body i
+      done)
+
+let map_reduce ~domains ?chunk ~lo ~hi ~combine ~init map =
+  if domains <= 1 then begin
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := combine !acc (map i)
+    done;
+    !acc
+  end
+  else begin
+    let partials = Atomic.make [] in
+    let chunk =
+      match chunk with Some c when c > 0 -> c | _ -> default_chunk ~domains ~lo ~hi
+    in
+    let next = Atomic.make lo in
+    let worker () =
+      let local = ref init in
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= hi then continue := false
+        else
+          for i = start to min hi (start + chunk) - 1 do
+            local := combine !local (map i)
+          done
+      done;
+      (* lock-free push of the local result *)
+      let rec push () =
+        let old = Atomic.get partials in
+        if not (Atomic.compare_and_set partials old (!local :: old)) then push ()
+      in
+      push ()
+    in
+    run_workers ~domains worker;
+    List.fold_left combine init (Atomic.get partials)
+  end

@@ -1,0 +1,42 @@
+(** Coordination-free data parallelism on OCaml 5 domains.
+
+    The paper's parallel experiments (Figures 3b, 4d–g, 5d/g/h, 7) all rely
+    on embarrassingly parallel partitioning: matrix row blocks and per-x
+    join work need no communication between tasks.  This module provides
+    exactly that: a bounded set of domains pulling chunk indices from a
+    single atomic counter (dynamic load balancing, no locks).
+
+    Exceptions raised inside worker bodies are captured and re-raised on the
+    caller's domain after all workers have joined. *)
+
+val available_cores : unit -> int
+(** [Domain.recommended_domain_count ()]; the widest sensible [domains]
+    argument on this machine. *)
+
+val parallel_for :
+  domains:int -> ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~domains ~lo ~hi body] runs [body i] for every
+    [lo <= i < hi] across [domains] domains.  [chunk] is the number of
+    consecutive indices a worker claims at a time (default: picked so there
+    are ~8 chunks per domain).  With [domains <= 1] it degenerates to a
+    plain sequential loop with zero domain overhead. *)
+
+val parallel_for_ranges :
+  domains:int -> ?chunk:int -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [parallel_for_ranges ~domains ~lo ~hi body] is like {!parallel_for} but
+    hands each worker whole ranges: [body range_lo range_hi] with
+    [lo <= range_lo < range_hi <= hi].  Lets the body hoist per-chunk
+    scratch allocations. *)
+
+val map_reduce :
+  domains:int ->
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  combine:('a -> 'a -> 'a) ->
+  init:'a ->
+  (int -> 'a) ->
+  'a
+(** Per-domain local folds combined at the end; [combine] must be
+    associative and [init] its identity.  The combination order is
+    unspecified. *)

@@ -1,0 +1,1 @@
+lib/query/bag.ml: Array Cq Hashtbl Jp_relation List Option

@@ -1,0 +1,1 @@
+lib/query/bag.mli: Cq Jp_relation

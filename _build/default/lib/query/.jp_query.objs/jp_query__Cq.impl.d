@@ -1,0 +1,1 @@
+lib/query/cq.ml: Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/query/engine.ml: Array Cq Hypergraph Joinproj Jp_relation List Printf Yannakakis

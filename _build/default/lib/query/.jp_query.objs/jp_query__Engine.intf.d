@@ -1,0 +1,1 @@
+lib/query/engine.mli: Cq Jp_relation Yannakakis

@@ -1,0 +1,1 @@
+lib/query/hypergraph.ml: Array Cq List Set String

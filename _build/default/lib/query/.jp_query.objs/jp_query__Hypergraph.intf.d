@@ -1,0 +1,1 @@
+lib/query/hypergraph.mli: Cq

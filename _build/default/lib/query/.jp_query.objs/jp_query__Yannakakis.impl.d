@@ -1,0 +1,1 @@
+lib/query/yannakakis.ml: Array Bag Cq Hypergraph Jp_relation List String

@@ -1,0 +1,1 @@
+lib/query/yannakakis.mli: Cq Jp_relation

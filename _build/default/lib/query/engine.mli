@@ -1,0 +1,28 @@
+(** Query engine: shape recognition + dispatch.
+
+    The paper's future-work direction is a planner that "decomposes the
+    join into multiple subqueries and evaluates in the optimal way".  This
+    engine implements the first step of that program:
+
+    - queries of star shape — every atom shares exactly one join variable,
+      all other variables projected — are routed to the MMJoin star
+      algorithm ({!Joinproj.Star}), covering the 2-path query as k = 2;
+    - every other acyclic query runs through {!Yannakakis};
+    - cyclic queries are rejected.
+
+    Atoms may bind the join variable in either position (the engine
+    transposes relations as needed). *)
+
+type catalog = Yannakakis.catalog
+
+type plan =
+  | Star_mm of { k : int }  (** star query: MMJoin with k atoms *)
+  | General  (** acyclic fallback: Yannakakis *)
+
+val plan_of : Cq.t -> (plan, string) result
+(** The route {!run} would take; errors on cyclic queries. *)
+
+val describe : plan -> string
+
+val run : catalog -> Cq.t -> (Jp_relation.Tuples.t, string) result
+(** Evaluates the query.  Head tuples come in head-variable order. *)

@@ -1,0 +1,85 @@
+module Relation = Jp_relation.Relation
+module Tuples = Jp_relation.Tuples
+
+type catalog = (string * Relation.t) list
+
+let load_bags catalog q =
+  let bags =
+    List.map
+      (fun atom ->
+        match List.assoc_opt atom.Cq.relation catalog with
+        | Some rel -> Ok (Bag.of_relation rel atom)
+        | None -> Error ("unknown relation: " ^ atom.Cq.relation))
+      q.Cq.body
+  in
+  let rec collect acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | Ok b :: rest -> collect (b :: acc) rest
+    | Error e :: _ -> Error e
+  in
+  collect [] bags
+
+let evaluate catalog q =
+  match Hypergraph.join_tree q with
+  | None -> Error "query is cyclic (GYO reduction failed)"
+  | Some tree -> (
+    match load_bags catalog q with
+    | Error e -> Error e
+    | Ok bags ->
+      let non_root = List.filter (fun e -> tree.Hypergraph.parent.(e) >= 0) tree.Hypergraph.order in
+      (* 1. bottom-up semijoin *)
+      List.iter
+        (fun e ->
+          let p = tree.Hypergraph.parent.(e) in
+          bags.(p) <- Bag.semijoin bags.(p) bags.(e))
+        non_root;
+      (* 2. top-down semijoin *)
+      List.iter
+        (fun e ->
+          let p = tree.Hypergraph.parent.(e) in
+          bags.(e) <- Bag.semijoin bags.(e) bags.(p))
+        (List.rev non_root);
+      (* 3. bottom-up join with projection: keep head variables plus the
+         parent's own columns (the running-intersection property makes
+         them the only connectors to the rest of the tree) *)
+      List.iter
+        (fun e ->
+          let p = tree.Hypergraph.parent.(e) in
+          let keep =
+            q.Cq.head
+            @ List.filter (fun v -> not (List.mem v q.Cq.head)) (Bag.vars bags.(p))
+          in
+          bags.(p) <- Bag.join_project bags.(p) bags.(e) ~keep)
+        non_root;
+      let root = List.nth tree.Hypergraph.order (List.length tree.Hypergraph.order - 1) in
+      Ok bags.(root))
+
+let run catalog q =
+  if q.Cq.head = [] then Error "boolean query: use Yannakakis.boolean"
+  else
+  match evaluate catalog q with
+  | Error e -> Error e
+  | Ok root_bag ->
+    let missing =
+      List.filter (fun v -> not (List.mem v (Bag.vars root_bag))) q.Cq.head
+    in
+    if missing <> [] then
+      Error ("internal: head variables lost: " ^ String.concat ", " missing)
+    else begin
+      let final = Bag.project root_bag ~keep:q.Cq.head in
+      let k = List.length q.Cq.head in
+      let dims =
+        Array.make k
+          (List.fold_left
+             (fun acc row -> Array.fold_left (fun m v -> max m (v + 1)) acc row)
+             1 (Bag.rows final))
+      in
+      let b = Tuples.create_builder ~arity:k ~dims in
+      List.iter (fun row -> Tuples.add b row) (Bag.rows final);
+      Ok (Tuples.build b)
+    end
+
+let boolean catalog q =
+  match evaluate catalog { q with Cq.head = [] } with
+  | Error e -> Error e
+  | Ok root_bag -> Ok (Bag.cardinality root_bag > 0)

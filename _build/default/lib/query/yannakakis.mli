@@ -1,0 +1,27 @@
+(** Yannakakis' algorithm for acyclic conjunctive queries.
+
+    Given a join tree, evaluation is three sweeps over the atom bags:
+
+    + bottom-up semijoin (parent ⋉ child) — removes parent tuples with no
+      support below;
+    + top-down semijoin (child ⋉ parent) — after this "full reduction"
+      every remaining tuple participates in some output tuple;
+    + bottom-up join, projecting each intermediate onto the head
+      variables collected so far plus the parent's connector variables,
+      which keeps intermediates output-polynomial.
+
+    Runs in O(|D| + intermediate sizes) with hash joins; this is the
+    general-query fallback around the specialized 2-path/star algorithms
+    (see {!Engine}). *)
+
+type catalog = (string * Jp_relation.Relation.t) list
+(** Relation bindings by name; names are case-sensitive. *)
+
+val run : catalog -> Cq.t -> (Jp_relation.Tuples.t, string) result
+(** Evaluates an acyclic query; errors on cyclic queries, unknown
+    relation names, or head variables of width 0 (boolean queries are
+    answered through {!boolean}). *)
+
+val boolean : catalog -> Cq.t -> (bool, string) result
+(** Satisfiability of the query body (the head is ignored): true iff the
+    join is non-empty. *)

@@ -1,0 +1,1 @@
+lib/relation/counted_pairs.mli: Pairs

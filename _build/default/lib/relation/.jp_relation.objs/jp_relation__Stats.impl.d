@@ -1,0 +1,1 @@
+lib/relation/stats.ml: Array Jp_util

@@ -1,0 +1,1 @@
+lib/relation/tuples.ml: Array Hashtbl Jp_util List

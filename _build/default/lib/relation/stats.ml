@@ -1,0 +1,62 @@
+type t = {
+  ids : int array; (* active value ids, ascending by degree *)
+  degs : int array; (* degree of ids.(i), ascending *)
+  prefix_deg : int array; (* prefix_deg.(i) = Σ degs.(0..i-1) *)
+  prefix_sq : int array;
+  prefix_weight : int array;
+}
+
+let of_degrees ?weights deg =
+  (match weights with
+  | Some w when Array.length w <> Array.length deg ->
+    invalid_arg "Stats.of_degrees: weights length mismatch"
+  | _ -> ());
+  let active = ref 0 in
+  Array.iter (fun d -> if d > 0 then incr active) deg;
+  let ids = Array.make !active 0 in
+  let p = ref 0 in
+  Array.iteri
+    (fun v d ->
+      if d > 0 then begin
+        ids.(!p) <- v;
+        incr p
+      end)
+    deg;
+  Array.sort (fun a b -> compare deg.(a) deg.(b)) ids;
+  let n = Array.length ids in
+  let degs = Array.map (fun v -> deg.(v)) ids in
+  let prefix_deg = Array.make (n + 1) 0 in
+  let prefix_sq = Array.make (n + 1) 0 in
+  let prefix_weight = Array.make (n + 1) 0 in
+  let weight v = match weights with Some w -> w.(v) | None -> deg.(v) in
+  for i = 0 to n - 1 do
+    prefix_deg.(i + 1) <- prefix_deg.(i) + degs.(i);
+    prefix_sq.(i + 1) <- prefix_sq.(i) + (degs.(i) * degs.(i));
+    prefix_weight.(i + 1) <- prefix_weight.(i) + weight ids.(i)
+  done;
+  { ids; degs; prefix_deg; prefix_sq; prefix_weight }
+
+let active_count t = Array.length t.ids
+
+let max_degree t =
+  let n = Array.length t.degs in
+  if n = 0 then 0 else t.degs.(n - 1)
+
+(* Index of the first degree strictly greater than d. *)
+let split t d = Jp_util.Sorted.lower_bound t.degs (d + 1)
+
+let count_le t d = split t d
+
+let count_gt t d = Array.length t.ids - split t d
+
+let sum_le t d = t.prefix_deg.(split t d)
+
+let sum_sq_le t d = t.prefix_sq.(split t d)
+
+let weight_le t d = t.prefix_weight.(split t d)
+
+let values_le t d = Array.sub t.ids 0 (split t d)
+
+let nth_smallest_degree t k =
+  if k < 0 || k >= Array.length t.degs then invalid_arg "Stats.nth_smallest_degree";
+  t.degs.(k)

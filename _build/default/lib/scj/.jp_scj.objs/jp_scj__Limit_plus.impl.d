@@ -1,0 +1,1 @@
+lib/scj/limit_plus.ml: Array Jp_relation Jp_util Scj_common

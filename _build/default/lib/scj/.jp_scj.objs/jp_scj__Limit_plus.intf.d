@@ -1,0 +1,1 @@
+lib/scj/limit_plus.mli: Jp_relation

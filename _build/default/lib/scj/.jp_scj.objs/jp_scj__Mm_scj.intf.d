@@ -1,0 +1,1 @@
+lib/scj/mm_scj.mli: Jp_relation

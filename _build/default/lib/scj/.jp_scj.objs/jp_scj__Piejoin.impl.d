@@ -1,0 +1,1 @@
+lib/scj/piejoin.ml: Array Jp_parallel Jp_relation Jp_util Jp_wcoj Scj_common

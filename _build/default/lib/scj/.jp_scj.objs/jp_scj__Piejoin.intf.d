@@ -1,0 +1,1 @@
+lib/scj/piejoin.mli: Jp_relation

@@ -1,0 +1,1 @@
+lib/scj/pretti.ml: Array Hashtbl Jp_relation Jp_util List Scj_common

@@ -1,0 +1,1 @@
+lib/scj/pretti.mli: Jp_relation

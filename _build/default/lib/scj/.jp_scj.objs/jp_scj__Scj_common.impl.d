@@ -1,0 +1,1 @@
+lib/scj/scj_common.ml: Array Jp_relation Jp_util

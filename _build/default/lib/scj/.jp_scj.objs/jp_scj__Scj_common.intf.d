@@ -1,0 +1,1 @@
+lib/scj/scj_common.mli: Jp_relation Jp_util

@@ -1,0 +1,31 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Vec = Jp_util.Vec
+module Sorted = Jp_util.Sorted
+
+let join ?(limit = 2) r =
+  if limit < 1 then invalid_arg "Limit_plus.join: limit must be >= 1";
+  let rank = Scj_common.element_order_infrequent r in
+  let rows = Array.init (Relation.src_count r) (fun _ -> Vec.create ~capacity:0 ()) in
+  (* Blocking: intersect the inverted lists of the first [limit] (rarest)
+     elements of each set.  Verification: subset test on the full set.
+     Unlike PRETTI there is no cross-set sharing, which is what makes the
+     verification volume hurt on high-overlap data. *)
+  for a = 0 to Relation.src_count r - 1 do
+    if Relation.deg_src r a > 0 then begin
+      let elems = Scj_common.sorted_by_rank r ~rank a in
+      let prefix = Array.sub elems 0 (min limit (Array.length elems)) in
+      let candidates =
+        Sorted.intersect_many
+          (Array.to_list (Array.map (fun e -> Relation.adj_dst r e) prefix))
+      in
+      let needs_verify = Array.length elems > limit in
+      let a_elems = Relation.adj_src r a in
+      Array.iter
+        (fun b ->
+          if b <> a && ((not needs_verify) || Sorted.subset a_elems (Relation.adj_src r b))
+          then Vec.push rows.(a) b)
+        candidates
+    end
+  done;
+  Scj_common.rows_to_pairs rows

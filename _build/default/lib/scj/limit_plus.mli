@@ -1,0 +1,14 @@
+(** LIMIT+ (Bouros et al.): PRETTI with a bounded intersection depth.
+
+    Intersecting long inverted lists deep in the tree costs more than it
+    prunes, so LIMIT+ intersects only the first [limit] path elements (the
+    blocking filter) and verifies each surviving candidate with a
+    sorted-merge subset test (the verification step whose cost the paper's
+    Figure 4c attributes the SCJ slowdowns to).  The paper's experiments
+    run limit = 2. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val join : ?limit:int -> Relation.t -> Pairs.t
+(** Directed containment pairs; [limit] ≥ 1 (default 2). *)

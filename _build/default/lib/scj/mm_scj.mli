@@ -1,0 +1,12 @@
+(** Set containment via the counted join-project (Section 4, "SCJ").
+
+    a ⊆ b  ⟺  |a ∩ b| = |a|, so one counted self-join of the family
+    answers every containment at once.  This wins exactly when the
+    join-project output is close to the SCJ result (the paper's dense
+    datasets) and parallelizes like any MMJoin. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val join : ?domains:int -> Relation.t -> Pairs.t
+(** Directed containment pairs (a, b): set a ⊆ set b, a ≠ b. *)

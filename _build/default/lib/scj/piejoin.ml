@@ -1,0 +1,30 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Vec = Jp_util.Vec
+
+let join ?(domains = 1) r =
+  let n = Relation.src_count r in
+  let rows = Array.init n (fun _ -> Vec.create ~capacity:0 ()) in
+  let probe a =
+    if Relation.deg_src r a > 0 then begin
+      let lists =
+        Array.map (fun e -> Relation.adj_dst r e) (Relation.adj_src r a)
+      in
+      Jp_wcoj.Leapfrog.iter lists (fun b -> if b <> a then Vec.push rows.(a) b)
+    end
+  in
+  if domains <= 1 then
+    for a = 0 to n - 1 do
+      probe a
+    done
+  else begin
+    (* Static contiguous partition (one chunk per worker), as in PIEJoin's
+       subtree assignment: skewed set sizes translate into imbalance. *)
+    let per = (n + domains - 1) / domains in
+    Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0 ~hi:n
+      (fun lo hi ->
+        for a = lo to hi - 1 do
+          probe a
+        done)
+  end;
+  Scj_common.rows_to_pairs rows

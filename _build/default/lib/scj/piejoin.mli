@@ -1,0 +1,17 @@
+(** PIEJoin-style parallel set-containment join (Kunkel et al.).
+
+    PIEJoin traverses tries built over both relations and parallelizes by
+    statically assigning root subtrees to workers.  This reproduction
+    keeps the two behavioural traits the paper's experiments exercise —
+    per-probe leapfrog intersection of inverted lists (no cross-set
+    prefix sharing, unlike PRETTI) and {e static} work partitioning whose
+    speedup degrades under set-size skew (Figure 7's "sensitive to data
+    distribution and choice of partitions") — while simplifying the
+    probe-side trie to direct per-set probes.  See DESIGN.md's
+    substitution table. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val join : ?domains:int -> Relation.t -> Pairs.t
+(** Directed containment pairs (a, b): set a ⊆ set b, a ≠ b. *)

@@ -1,0 +1,55 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Vec = Jp_util.Vec
+
+type node = {
+  elem : int; (* -1 at root *)
+  mutable terminals : int list;
+  children : (int, node) Hashtbl.t;
+}
+
+let new_node elem = { elem; terminals = []; children = Hashtbl.create 4 }
+
+let build_tree r ~rank =
+  let root = new_node (-1) in
+  for a = 0 to Relation.src_count r - 1 do
+    if Relation.deg_src r a > 0 then begin
+      let elems = Scj_common.sorted_by_rank r ~rank a in
+      let node = ref root in
+      Array.iter
+        (fun e ->
+          node :=
+            match Hashtbl.find_opt !node.children e with
+            | Some child -> child
+            | None ->
+              let child = new_node e in
+              Hashtbl.add !node.children e child;
+              child)
+        elems;
+      !node.terminals <- a :: !node.terminals
+    end
+  done;
+  root
+
+let join r =
+  let rank = Scj_common.element_order_infrequent r in
+  let root = build_tree r ~rank in
+  let rows = Array.init (Relation.src_count r) (fun _ -> Vec.create ~capacity:0 ()) in
+  (* DFS: candidates = intersection of inverted lists along the path.
+     The root's candidate set is conceptually "all sets"; children of the
+     root start from their element's full inverted list. *)
+  let rec dfs node candidates =
+    List.iter
+      (fun a ->
+        Array.iter (fun b -> if b <> a then Vec.push rows.(a) b) candidates)
+      node.terminals;
+    Hashtbl.iter
+      (fun e child ->
+        let next = Jp_util.Sorted.intersect candidates (Relation.adj_dst r e) in
+        if Array.length next > 0 then dfs child next)
+      node.children
+  in
+  Hashtbl.iter
+    (fun e child -> dfs child (Array.copy (Relation.adj_dst r e)))
+    root.children;
+  Scj_common.rows_to_pairs rows

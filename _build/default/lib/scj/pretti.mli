@@ -1,0 +1,14 @@
+(** PRETTI (Jampani & Pudi): prefix-tree set-containment join.
+
+    Sets are inserted into a prefix tree under the infrequent element
+    order; a DFS intersects the inverted lists along each path, so sets
+    sharing a prefix share the intersection work.  At a node where set a
+    terminates, the surviving candidate list is exactly the supersets of
+    a. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val join : Relation.t -> Pairs.t
+(** Directed containment pairs (a, b): set a ⊆ set b, a ≠ b.  Sets of
+    size 0 are skipped. *)

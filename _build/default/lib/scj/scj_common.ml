@@ -1,0 +1,27 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+let element_order_infrequent r =
+  let ne = Relation.dst_count r in
+  let order = Array.init ne (fun e -> e) in
+  Array.sort
+    (fun e1 e2 ->
+      let l1 = Relation.deg_dst r e1 and l2 = Relation.deg_dst r e2 in
+      if l1 <> l2 then compare l1 l2 else compare e1 e2)
+    order;
+  let rank = Array.make ne 0 in
+  Array.iteri (fun i e -> rank.(e) <- i) order;
+  rank
+
+let sorted_by_rank r ~rank a =
+  let elems = Array.copy (Relation.adj_src r a) in
+  Array.sort (fun x y -> compare rank.(x) rank.(y)) elems;
+  elems
+
+let rows_to_pairs rows =
+  Pairs.of_rows_unchecked
+    (Array.map
+       (fun v ->
+         Jp_util.Vec.sort_dedup v;
+         Jp_util.Vec.to_array v)
+       rows)

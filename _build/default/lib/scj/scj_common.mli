@@ -1,0 +1,20 @@
+(** Shared definitions for set-containment join.
+
+    The SCJ result is the set of {e directed} pairs (a, b), a ≠ b, with
+    set a ⊆ set b, represented as {!Pairs.t} keyed by the contained set.
+    Empty sets are excluded (they are vacuously contained everywhere and
+    only add noise; the paper's datasets have min size ≥ 1). *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val element_order_infrequent : Relation.t -> int array
+(** rank.(element) under the "infrequent sort order": ascending inverted
+    list length (ties by id) — rarest elements first, so candidate lists
+    shrink as early as possible.  Standard for PRETTI-family algorithms. *)
+
+val sorted_by_rank : Relation.t -> rank:int array -> int -> int array
+(** The elements of a set, re-sorted by [rank] (fresh array). *)
+
+val rows_to_pairs : Jp_util.Vec.t array -> Pairs.t
+(** Sort-dedups each row buffer and freezes. *)

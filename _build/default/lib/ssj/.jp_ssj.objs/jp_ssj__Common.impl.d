@@ -1,0 +1,1 @@
+lib/ssj/common.ml: Array Jp_relation Jp_util

@@ -1,0 +1,1 @@
+lib/ssj/common.mli: Jp_relation

@@ -1,0 +1,1 @@
+lib/ssj/mm_ssj.ml: Common Joinproj Jp_relation

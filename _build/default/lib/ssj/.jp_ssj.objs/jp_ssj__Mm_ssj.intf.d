@@ -1,0 +1,1 @@
+lib/ssj/mm_ssj.mli: Jp_relation

@@ -1,0 +1,1 @@
+lib/ssj/multi.ml: Array Hashtbl Jp_relation Jp_wcoj

@@ -1,0 +1,1 @@
+lib/ssj/multi.mli: Jp_relation

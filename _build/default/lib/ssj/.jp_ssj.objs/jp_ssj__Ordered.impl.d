@@ -1,0 +1,1 @@
+lib/ssj/ordered.ml: Array Common Jp_relation Jp_util List Mm_ssj

@@ -1,0 +1,1 @@
+lib/ssj/ordered.mli: Jp_relation

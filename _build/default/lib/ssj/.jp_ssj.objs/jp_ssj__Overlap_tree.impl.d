@@ -1,0 +1,1 @@
+lib/ssj/overlap_tree.ml: Array Hashtbl Jp_relation Jp_util List Seq

@@ -1,0 +1,1 @@
+lib/ssj/overlap_tree.mli: Jp_relation

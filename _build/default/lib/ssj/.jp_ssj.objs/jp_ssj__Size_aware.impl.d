@@ -1,0 +1,1 @@
+lib/ssj/size_aware.ml: Array Common Hashtbl Jp_relation Jp_util

@@ -1,0 +1,1 @@
+lib/ssj/size_aware.mli: Jp_relation

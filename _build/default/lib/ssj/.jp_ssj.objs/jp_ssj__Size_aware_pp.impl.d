@@ -1,0 +1,1 @@
+lib/ssj/size_aware_pp.ml: Array Common Hashtbl Joinproj Jp_relation Jp_util Overlap_tree Size_aware

@@ -1,0 +1,1 @@
+lib/ssj/size_aware_pp.mli: Jp_relation

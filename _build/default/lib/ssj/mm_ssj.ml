@@ -1,0 +1,9 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Counted_pairs = Jp_relation.Counted_pairs
+
+let join_counted ?(domains = 1) r = Joinproj.Two_path.project_counts ~domains ~r ~s:r ()
+
+let join ?(domains = 1) ~c r =
+  if c < 1 then invalid_arg "Mm_ssj.join: c must be >= 1";
+  Common.upper_pairs (join_counted ~domains r) ~c

@@ -1,0 +1,29 @@
+module Relation = Jp_relation.Relation
+module Tuples = Jp_relation.Tuples
+
+let joint_overlap rels tuple =
+  if Array.length rels <> Array.length tuple then invalid_arg "Multi.joint_overlap";
+  let sets = Array.map2 (fun r a -> Relation.adj_src r a) rels tuple in
+  let count = ref 0 in
+  Jp_wcoj.Leapfrog.iter sets (fun _ -> incr count);
+  !count
+
+let join ~c rels =
+  if Array.length rels < 2 then invalid_arg "Multi.join: arity must be >= 2";
+  if c < 1 then invalid_arg "Multi.join: c must be >= 1";
+  (* accumulate witness counts per tuple over the per-element cross
+     products; tuples reaching c are emitted once *)
+  let counts : (int array, int) Hashtbl.t = Hashtbl.create 4096 in
+  let k = Array.length rels in
+  let dims = Array.map Relation.src_count rels in
+  let builder = Tuples.create_builder ~arity:k ~dims in
+  Jp_wcoj.Star.iter_full rels (fun tuple _y ->
+      match Hashtbl.find_opt counts tuple with
+      | Some n ->
+        let n = n + 1 in
+        Hashtbl.replace counts tuple n;
+        if n = c then Tuples.add builder tuple
+      | None ->
+        Hashtbl.replace counts (Array.copy tuple) 1;
+        if c = 1 then Tuples.add builder tuple);
+  Tuples.build builder

@@ -1,0 +1,22 @@
+(** Multi-way set similarity (the Section 2.1 remark: "the generalization
+    of set similarity to more than two relations can be defined in a
+    similar fashion").
+
+    Given k set families R₁..R{_k} over a shared element domain, find the
+    k-tuples (a₁, …, a{_k}) with |R₁(a₁) ∩ … ∩ R{_k}(a{_k})| ≥ c — the
+    counted star query, thresholded.  Evaluation iterates the shared
+    elements and accumulates per-tuple witness counts over the cross
+    products of inverted lists (output-bounded after the light-element
+    pruning that skips elements that cannot reach c with the candidate's
+    remaining elements is unnecessary here: counts are exact). *)
+
+module Relation = Jp_relation.Relation
+module Tuples = Jp_relation.Tuples
+
+val join : c:int -> Relation.t array -> Tuples.t
+(** Tuples with joint intersection ≥ c.  Arity ≥ 2.  Cost is bounded by
+    the full star join (Σ_y Π deg) — size inputs accordingly. *)
+
+val joint_overlap : Relation.t array -> int array -> int
+(** |∩ᵢ Rᵢ(aᵢ)| for one candidate tuple (the verification primitive;
+    leapfrog over the k sets). *)

@@ -1,0 +1,55 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+let sort_desc triples =
+  Array.sort
+    (fun (x1, z1, c1) (x2, z2, c2) ->
+      if c1 <> c2 then compare c2 c1 else compare (x1, z1) (x2, z2))
+    triples;
+  triples
+
+let via_counts ?(domains = 1) ~c r =
+  let counted = Mm_ssj.join_counted ~domains r in
+  let acc = ref [] in
+  Jp_relation.Counted_pairs.iter
+    (fun i j k -> if j > i && k >= c then acc := (i, j, k) :: !acc)
+    counted;
+  sort_desc (Array.of_list !acc)
+
+let top_k ?(domains = 1) ~k ~c r =
+  if k < 0 then invalid_arg "Ordered.top_k";
+  let counted = Mm_ssj.join_counted ~domains r in
+  let n = Relation.src_count r in
+  (* Strict priority encoding so the heap minimum is always the entry to
+     evict: higher overlap wins, ties resolved towards smaller (i, j).
+     count <= n and i*n + j < n^2, so the encoding fits a native int for
+     any relation this library can hold in memory. *)
+  let encode i j count = (count * n * n) + (n * n) - 1 - ((i * n) + j) in
+  let decode p =
+    let count = p / (n * n) in
+    let rank = (n * n) - 1 - (p mod (n * n)) in
+    (rank / n, rank mod n, count)
+  in
+  let heap = Jp_util.Heap.create () in
+  Jp_relation.Counted_pairs.iter
+    (fun i j count ->
+      if j > i && count >= c && k > 0 then begin
+        let p = encode i j count in
+        if Jp_util.Heap.size heap < k then Jp_util.Heap.push heap ~priority:p ()
+        else if p > Jp_util.Heap.min_priority heap then begin
+          ignore (Jp_util.Heap.pop_min heap);
+          Jp_util.Heap.push heap ~priority:p ()
+        end
+      end)
+    counted;
+  sort_desc
+    (Array.of_list (List.map (fun (p, ()) -> decode p) (Jp_util.Heap.to_list heap)))
+
+let via_pairs r ~c pairs =
+  let acc = ref [] in
+  Pairs.iter
+    (fun i j ->
+      let k = Common.overlap r i j in
+      if k >= c then acc := (i, j, k) :: !acc)
+    pairs;
+  sort_desc (Array.of_list !acc)

@@ -1,0 +1,102 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Vec = Jp_util.Vec
+
+type node = {
+  elem : int; (* -1 at the root *)
+  mutable terminals : int list; (* member sets ending here *)
+  children : (int, node) Hashtbl.t;
+}
+
+let new_node elem = { elem; terminals = []; children = Hashtbl.create 4 }
+
+let similar_pairs ?members ~c r =
+  if c < 1 then invalid_arg "Overlap_tree.similar_pairs: c must be >= 1";
+  let n = Relation.src_count r in
+  let members =
+    match members with
+    | Some m -> m
+    | None ->
+      let v = Vec.create () in
+      for a = 0 to n - 1 do
+        if Relation.deg_src r a > 0 then Vec.push v a
+      done;
+      Vec.to_array v
+  in
+  let is_member = Array.make n false in
+  Array.iter (fun a -> is_member.(a) <- true) members;
+  (* Member-restricted inverted lists and the global element order
+     (list length descending). *)
+  let ne = Relation.dst_count r in
+  let inv = Array.make ne [||] in
+  for e = 0 to ne - 1 do
+    let full = Relation.adj_dst r e in
+    let kept = Array.of_seq (Seq.filter (fun s -> is_member.(s)) (Array.to_seq full)) in
+    inv.(e) <- kept
+  done;
+  let order = Array.init ne (fun e -> e) in
+  Array.sort
+    (fun e1 e2 ->
+      let l1 = Array.length inv.(e1) and l2 = Array.length inv.(e2) in
+      if l1 <> l2 then compare l2 l1 else compare e1 e2)
+    order;
+  let rank = Array.make ne 0 in
+  Array.iteri (fun i e -> rank.(e) <- i) order;
+  (* Build the prefix tree over member sets (elements in rank order).
+     Sets smaller than c cannot join any pair. *)
+  let root = new_node (-1) in
+  Array.iter
+    (fun a ->
+      let elems = Array.copy (Relation.adj_src r a) in
+      if Array.length elems >= c then begin
+        Array.sort (fun x y -> compare rank.(x) rank.(y)) elems;
+        let node = ref root in
+        Array.iter
+          (fun e ->
+            node :=
+              match Hashtbl.find_opt !node.children e with
+              | Some child -> child
+              | None ->
+                let child = new_node e in
+                Hashtbl.add !node.children e child;
+                child)
+          elems;
+        !node.terminals <- a :: !node.terminals
+      end)
+    members;
+  (* DFS with incremental overlap counts. *)
+  let counts = Array.make n 0 in
+  let reached = Vec.create () in
+  let rows = Array.init n (fun _ -> Vec.create ~capacity:0 ()) in
+  let rec dfs node =
+    let mark = Vec.length reached in
+    if node.elem >= 0 then
+      Array.iter
+        (fun s ->
+          counts.(s) <- counts.(s) + 1;
+          if counts.(s) = c then Vec.push reached s)
+        inv.(node.elem);
+    List.iter
+      (fun a ->
+        (* [reached] is O: the sets with overlap >= c against the full
+           path, which at a terminal equals set a.  Emit each unordered
+           pair once (smaller id keys the row). *)
+        for i = 0 to Vec.length reached - 1 do
+          let s = Vec.get reached i in
+          if s < a then Vec.push rows.(s) a
+        done)
+      node.terminals;
+    Hashtbl.iter (fun _ child -> dfs child) node.children;
+    if node.elem >= 0 then begin
+      Array.iter (fun s -> counts.(s) <- counts.(s) - 1) inv.(node.elem);
+      (* entries pushed at this node sit above [mark]: pop the frame *)
+      Vec.truncate reached mark
+    end
+  in
+  dfs root;
+  Pairs.of_rows_unchecked
+    (Array.map
+       (fun v ->
+         Vec.sort_dedup v;
+         Vec.to_array v)
+       rows)

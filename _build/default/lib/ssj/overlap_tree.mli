@@ -1,0 +1,20 @@
+(** Prefix-tree computation sharing for light-set expansion (Example 6).
+
+    Sets are rewritten under a global element order — inverted-list length
+    descending, so large lists sit near the root and are merged once — and
+    inserted into a prefix tree.  A single DFS maintains, for the current
+    path P, the overlap count |s ∩ P| of every candidate set s (counts
+    only grow on the way down and are undone on the way up), plus the
+    stack O of candidates whose count has reached c.  When the DFS stands
+    on a node where a set A terminates, P = A, so O is exactly the sets
+    with |s ∩ A| ≥ c — the paper's materialized (O, U) pairs fall out of
+    the traversal for free, with the same total cost: one inverted-list
+    merge per distinct prefix instead of one per set. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val similar_pairs : ?members:int array -> c:int -> Relation.t -> Pairs.t
+(** All pairs (i, j), i < j, of member sets with |set i ∩ set j| ≥ c.
+    [members] (default: every nonempty set) restricts both sides of the
+    pairs — SizeAware++ passes the light sets. *)

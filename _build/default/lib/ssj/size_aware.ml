@@ -1,0 +1,136 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Vec = Jp_util.Vec
+
+(* Cost balancing for the boundary: processing a heavy set h costs
+   sum over e in h of |L(e)| (one inverted-list scan); a light set s costs
+   C(|s|, c) subset insertions.  Evaluate both totals at every candidate
+   boundary (the distinct set sizes) and take the closest match. *)
+let get_size_boundary r ~c =
+  let n = Relation.src_count r in
+  let sizes = Array.init n (fun a -> Relation.deg_src r a) in
+  let scan_cost a =
+    Array.fold_left
+      (fun acc e -> acc + Relation.deg_dst r e)
+      0 (Relation.adj_src r a)
+  in
+  let ids = Array.init n (fun a -> a) in
+  Array.sort (fun a b -> compare sizes.(a) sizes.(b)) ids;
+  (* suffix heavy cost, prefix light cost over the size-sorted order *)
+  let m = Array.length ids in
+  let heavy_suffix = Array.make (m + 1) 0 in
+  for i = m - 1 downto 0 do
+    heavy_suffix.(i) <- heavy_suffix.(i + 1) + scan_cost ids.(i)
+  done;
+  let cap = max_int / 4 in
+  let light_prefix = Array.make (m + 1) 0 in
+  for i = 0 to m - 1 do
+    let contrib = Common.binom_capped sizes.(ids.(i)) c ~cap in
+    light_prefix.(i + 1) <- min cap (light_prefix.(i) + contrib)
+  done;
+  (* boundary candidates: before each distinct size; pick min of max cost *)
+  let best = ref (max c 1) and best_cost = ref max_int in
+  for i = 0 to m do
+    let boundary = if i = m then (if m = 0 then 1 else sizes.(ids.(m - 1)) + 1)
+      else sizes.(ids.(i))
+    in
+    let cost = max light_prefix.(i) heavy_suffix.(i) in
+    if cost < !best_cost then begin
+      best_cost := cost;
+      best := max boundary c
+    end
+  done;
+  max !best 1
+
+(* Heavy phase: for each heavy set h, count occurrences of every other set
+   in the inverted lists of h's elements; emit candidates with count >= c.
+   To output each unordered pair once: (light, heavy) always emitted;
+   (heavy, heavy) only when the partner id is smaller. *)
+let join_heavy_only ~boundary ~c r =
+  let n = Relation.src_count r in
+  let is_heavy a = Relation.deg_src r a >= boundary in
+  let rows = Array.init n (fun _ -> Vec.create ~capacity:0 ()) in
+  let counts = Array.make n 0 in
+  let stamps = Array.make n (-1) in
+  let touched = Vec.create () in
+  for h = 0 to n - 1 do
+    if is_heavy h then begin
+      Vec.clear touched;
+      Array.iter
+        (fun e ->
+          Array.iter
+            (fun s ->
+              if s <> h then
+                if stamps.(s) <> h then begin
+                  stamps.(s) <- h;
+                  counts.(s) <- 1;
+                  Vec.push touched s
+                end
+                else counts.(s) <- counts.(s) + 1)
+            (Relation.adj_dst r e))
+        (Relation.adj_src r h);
+      Vec.iter
+        (fun s ->
+          if counts.(s) >= c && ((not (is_heavy s)) || s < h) then
+            Vec.push rows.(min s h) (max s h))
+        touched
+    end
+  done;
+  Pairs.of_rows_unchecked
+    (Array.map
+       (fun v ->
+         Vec.sort_dedup v;
+         Vec.to_array v)
+       rows)
+
+(* Light phase: every c-subset of a light set is a bucket key; all pairs
+   within a bucket share >= c elements.  A global pair hash set
+   deduplicates pairs discovered via multiple subsets (this brute-force
+   dedup is exactly what SizeAware++ replaces). *)
+let join_light_only ~boundary ~c r =
+  let n = Relation.src_count r in
+  let is_light a =
+    let d = Relation.deg_src r a in
+    d >= c && d < boundary
+  in
+  let buckets : (int list, Vec.t) Hashtbl.t = Hashtbl.create 4096 in
+  for s = 0 to n - 1 do
+    if is_light s then
+      Common.iter_c_subsets (Relation.adj_src r s) ~c (fun key ->
+          match Hashtbl.find_opt buckets key with
+          | Some v -> Vec.push v s
+          | None ->
+            let v = Vec.create ~capacity:2 () in
+            Vec.push v s;
+            Hashtbl.add buckets key v)
+  done;
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let rows = Array.init n (fun _ -> Vec.create ~capacity:0 ()) in
+  Hashtbl.iter
+    (fun _key members ->
+      let m = Vec.length members in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          let a = Vec.get members i and b = Vec.get members j in
+          let lo = min a b and hi = max a b in
+          let packed = (lo * n) + hi in
+          if not (Hashtbl.mem seen packed) then begin
+            Hashtbl.add seen packed ();
+            Vec.push rows.(lo) hi
+          end
+        done
+      done)
+    buckets;
+  Pairs.of_rows_unchecked
+    (Array.map
+       (fun v ->
+         Vec.sort_dedup v;
+         Vec.to_array v)
+       rows)
+
+let join ?boundary ~c r =
+  if c < 1 then invalid_arg "Size_aware.join: c must be >= 1";
+  let boundary =
+    match boundary with Some b -> max b 1 | None -> get_size_boundary r ~c
+  in
+  Pairs.union (join_heavy_only ~boundary ~c r) (join_light_only ~boundary ~c r)

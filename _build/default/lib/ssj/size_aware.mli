@@ -1,0 +1,28 @@
+(** SizeAware — the size-aware overlap set-similarity join of Deng, Tao
+    and Li \[20\] (Algorithm 2 of the paper), the baseline SizeAware++ and
+    MMJoin are measured against.
+
+    Sets are split at a size boundary x: {e heavy} sets (size ≥ x) are
+    joined against everything by scanning inverted lists and counting;
+    {e light} sets enumerate their c-subsets into an inverted index whose
+    buckets yield the light-light pairs.  [get_size_boundary] balances the
+    two costs, as in the original paper. *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+
+val get_size_boundary : Relation.t -> c:int -> int
+(** The size boundary whose heavy-scan and light-subset cost estimates are
+    closest — sets of size ≥ boundary are heavy.  At least [c]. *)
+
+val join : ?boundary:int -> c:int -> Relation.t -> Pairs.t
+(** Unordered SSJ: pairs of distinct sets sharing ≥ [c] elements.
+    [boundary] overrides {!get_size_boundary} (tests use this to force
+    both code paths). *)
+
+val join_heavy_only : boundary:int -> c:int -> Relation.t -> Pairs.t
+(** Only the heavy-scan phase (pairs with at least one heavy set);
+    exposed so SizeAware++ can recombine phases. *)
+
+val join_light_only : boundary:int -> c:int -> Relation.t -> Pairs.t
+(** Only the light c-subset phase (light-light pairs). *)

@@ -1,0 +1,1 @@
+lib/util/intsort.ml: Array

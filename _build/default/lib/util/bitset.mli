@@ -1,0 +1,51 @@
+(** Fixed-width mutable bitsets over native [int] words.
+
+    Words carry 62 payload bits so that every operation stays on unboxed
+    native ints.  Bitsets are the backbone of the boolean matrix product
+    (each matrix row is one bitset) and of the EmptyHeaded-like baseline
+    engine, where per-word [lor]/[land] provide the 62-way data parallelism
+    that plays the role of SIMD in the paper's C++ prototype. *)
+
+type t
+
+val width : t -> int
+(** Number of addressable bit positions. *)
+
+val create : int -> t
+(** [create n] is an all-zeros bitset of width [n]. *)
+
+val set : t -> int -> unit
+
+val unset : t -> int -> unit
+
+val mem : t -> int -> bool
+
+val clear : t -> unit
+(** Zeroes every bit, keeping the width. *)
+
+val count : t -> int
+(** Population count. *)
+
+val is_empty : t -> bool
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ORs [src] into [dst].  Widths must match. *)
+
+val inter_into : dst:t -> t -> unit
+(** [inter_into ~dst src] ANDs [src] into [dst].  Widths must match. *)
+
+val inter_count : t -> t -> int
+(** Population count of the intersection, without materializing it. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to every set position in increasing order. *)
+
+val to_list : t -> int list
+
+val of_sorted_array : int -> int array -> t
+(** [of_sorted_array n positions] sets each listed position (positions need
+    not actually be sorted; they must be [< n]). *)
+
+val copy : t -> t
+
+val equal : t -> t -> bool

@@ -1,0 +1,39 @@
+let pad cell w = cell ^ String.make (max 0 (w - String.length cell)) ' '
+
+let render ~header ~rows =
+  let ncols = List.length header in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i))) (String.length h) rows)
+      header
+  in
+  let line cells =
+    String.concat "  " (List.map2 pad cells widths) ^ "\n"
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) ^ "\n" in
+  line header ^ rule ^ String.concat "" (List.map line rows)
+
+let print ~header ~rows = print_string (render ~header ~rows)
+
+let seconds s =
+  if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.1fms" (s *. 1e3)
+  else if s < 100.0 then Printf.sprintf "%.2fs" s
+  else Printf.sprintf "%.0fs" s
+
+let big_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + len / 3 + 1) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  (if n < 0 then "-" else "") ^ Buffer.contents buf

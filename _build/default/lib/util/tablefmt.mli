@@ -1,0 +1,18 @@
+(** Plain-text table rendering for benchmark reports.
+
+    Produces the aligned rows/series that each experiment prints, matching
+    the tables and figure series of the paper's evaluation section. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] lays the cells out in aligned columns with a
+    separator rule under the header.  Rows shorter than the header are
+    right-padded with empty cells. *)
+
+val print : header:string list -> rows:string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val seconds : float -> string
+(** Human-friendly duration: ["87.2ms"], ["3.41s"], ["128s"]. *)
+
+val big_int : int -> string
+(** Thousands-separated integer: ["12,345,678"]. *)

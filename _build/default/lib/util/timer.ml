@@ -1,0 +1,22 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let x = f () in
+  let t1 = now () in
+  (x, t1 -. t0)
+
+let time_median ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timer.time_median";
+  let result = ref None in
+  let times =
+    List.init repeats (fun _ ->
+        let x, dt = time f in
+        result := Some x;
+        dt)
+  in
+  let sorted = List.sort compare times in
+  let median = List.nth sorted (repeats / 2) in
+  match !result with
+  | Some x -> (x, median)
+  | None -> assert false

@@ -1,0 +1,13 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val now : unit -> float
+(** Wall-clock seconds (epoch-based; only differences are meaningful). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result together with elapsed wall
+    seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
+    returns the last result with the median elapsed time; mirrors the
+    paper's "average of middle runs" methodology. *)

@@ -1,0 +1,1 @@
+lib/wcoj/expand.ml: Array Jp_parallel Jp_relation Jp_util

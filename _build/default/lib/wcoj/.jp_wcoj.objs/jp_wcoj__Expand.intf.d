@@ -1,0 +1,1 @@
+lib/wcoj/expand.mli: Jp_relation

@@ -1,0 +1,1 @@
+lib/wcoj/leapfrog.ml: Array Jp_util

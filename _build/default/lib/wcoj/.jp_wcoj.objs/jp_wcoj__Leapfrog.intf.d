@@ -1,0 +1,1 @@
+lib/wcoj/leapfrog.mli:

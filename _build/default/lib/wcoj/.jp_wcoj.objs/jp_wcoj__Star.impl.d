@@ -1,0 +1,1 @@
+lib/wcoj/star.ml: Array Jp_relation Seq

@@ -1,0 +1,1 @@
+lib/wcoj/star.mli: Jp_relation

@@ -1,0 +1,110 @@
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Counted_pairs = Jp_relation.Counted_pairs
+
+let all_xs r = Array.init (Relation.src_count r) (fun i -> i)
+
+(* One worker expands the x values [xs.(lo..hi-1)] into [rows], using a
+   stamp vector sized to dom(z).  Stamps avoid clearing between x's: a cell
+   is live iff it holds the current stamp. *)
+let expand_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi =
+  let stamps = Array.make (Relation.src_count s) (-1) in
+  let buf = Jp_util.Vec.create ~capacity:256 () in
+  for idx = lo to hi - 1 do
+    let a = xs.(idx) in
+    Jp_util.Vec.clear buf;
+    let stamp = idx in
+    Array.iter
+      (fun b ->
+        if keep_y b then
+          Array.iter
+            (fun c ->
+              if keep_zy c b && Array.unsafe_get stamps c <> stamp then begin
+                Array.unsafe_set stamps c stamp;
+                Jp_util.Vec.push buf c
+              end)
+            (Relation.adj_dst s b))
+      (Relation.adj_src r a);
+    Jp_util.Vec.sort_dedup buf;
+    rows.(a) <- Jp_util.Vec.to_array buf
+  done
+
+let expand_counts_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi =
+  let nz = Relation.src_count s in
+  let stamps = Array.make nz (-1) in
+  let counts = Array.make nz 0 in
+  let buf = Jp_util.Vec.create ~capacity:256 () in
+  for idx = lo to hi - 1 do
+    let a = xs.(idx) in
+    Jp_util.Vec.clear buf;
+    let stamp = idx in
+    Array.iter
+      (fun b ->
+        if keep_y b then
+          Array.iter
+            (fun c ->
+              if keep_zy c b then
+                if Array.unsafe_get stamps c <> stamp then begin
+                  Array.unsafe_set stamps c stamp;
+                  Array.unsafe_set counts c 1;
+                  Jp_util.Vec.push buf c
+                end
+                else Array.unsafe_set counts c (Array.unsafe_get counts c + 1))
+            (Relation.adj_dst s b))
+      (Relation.adj_src r a);
+    Jp_util.Vec.sort_dedup buf;
+    let zs = Jp_util.Vec.to_array buf in
+    let cs = Array.map (fun c -> counts.(c)) zs in
+    rows.(a) <- (zs, cs)
+  done
+
+let default_filters keep_y keep_zy =
+  let keep_y = match keep_y with Some f -> f | None -> fun _ -> true in
+  let keep_zy = match keep_zy with Some f -> f | None -> fun _ _ -> true in
+  (keep_y, keep_zy)
+
+(* Static split: one contiguous range per domain so each worker allocates
+   its dom(z)-sized scratch exactly once. *)
+let run_split ~domains ~n body =
+  if domains <= 1 || n = 0 then body 0 n
+  else begin
+    let per = (n + domains - 1) / domains in
+    Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0 ~hi:n body
+  end
+
+let project ?(domains = 1) ?xs ?keep_y ?keep_zy ~r ~s () =
+  let keep_y, keep_zy = default_filters keep_y keep_zy in
+  let xs = match xs with Some a -> a | None -> all_xs r in
+  let rows = Array.make (Relation.src_count r) [||] in
+  run_split ~domains ~n:(Array.length xs) (fun lo hi ->
+      expand_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi);
+  Pairs.of_rows_unchecked rows
+
+let project_counts ?(domains = 1) ?xs ?keep_y ?keep_zy ~r ~s () =
+  let keep_y, keep_zy = default_filters keep_y keep_zy in
+  let xs = match xs with Some a -> a | None -> all_xs r in
+  let rows = Array.make (Relation.src_count r) ([||], [||]) in
+  run_split ~domains ~n:(Array.length xs) (fun lo hi ->
+      expand_counts_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi);
+  Counted_pairs.of_rows_unchecked rows
+
+let count_distinct ?xs ?keep_y ~r ~s () =
+  let keep_y = match keep_y with Some f -> f | None -> fun _ -> true in
+  let xs = match xs with Some a -> a | None -> all_xs r in
+  let stamps = Array.make (Relation.src_count s) (-1) in
+  let total = ref 0 in
+  Array.iteri
+    (fun idx a ->
+      Array.iter
+        (fun b ->
+          if keep_y b then
+            Array.iter
+              (fun c ->
+                if Array.unsafe_get stamps c <> idx then begin
+                  Array.unsafe_set stamps c idx;
+                  incr total
+                end)
+              (Relation.adj_dst s b))
+        (Relation.adj_src r a))
+    xs;
+  !total

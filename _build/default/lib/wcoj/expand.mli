@@ -1,0 +1,56 @@
+(** Per-x expansion joins with dedup-vector deduplication.
+
+    This is the paper's Section-6 inner loop: for a fixed x value [a],
+    union the inverted lists L(b) of its neighbours b, deduplicating with a
+    reusable stamp vector instead of a hash table (no rehashing, no upfront
+    |OUT| reservation).  It implements:
+
+    - the projection of the *full* 2-path join (the WCOJ-then-project
+      baseline, and the combinatorial heavy-part strategy of Non-MMJoin);
+    - the light sub-joins R⁻ ⋈ S and R ⋈ S⁻ of Algorithm 1, via the
+      [xs]/[keep_y]/[keep_zy] filters;
+    - the counting variant needed by SSJ/SCJ, which accumulates witness
+      multiplicities instead of booleans.
+
+    All variants parallelize over x with per-worker scratch (coordination
+    free, as exploited by Figures 4d/4e). *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Counted_pairs = Jp_relation.Counted_pairs
+
+val project :
+  ?domains:int ->
+  ?xs:int array ->
+  ?keep_y:(int -> bool) ->
+  ?keep_zy:(int -> int -> bool) ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  Pairs.t
+(** [project ~r ~s ()] is π{_xz}(R(x,y) ⋈ S(z,y)) as deduplicated pairs.
+    [xs] restricts the driving x values (default: all of dom(x));
+    [keep_y] filters join values y; [keep_zy z y] filters S tuples.
+    Rows for x values outside [xs] are empty. *)
+
+val project_counts :
+  ?domains:int ->
+  ?xs:int array ->
+  ?keep_y:(int -> bool) ->
+  ?keep_zy:(int -> int -> bool) ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  Counted_pairs.t
+(** Counting variant: multiplicity of (x, z) = number of surviving
+    witnesses y. *)
+
+val count_distinct :
+  ?xs:int array ->
+  ?keep_y:(int -> bool) ->
+  r:Relation.t ->
+  s:Relation.t ->
+  unit ->
+  int
+(** |π{_xz}(R ⋈ S)| without materializing the pairs (still O(join) time,
+    O(dom z) space). *)

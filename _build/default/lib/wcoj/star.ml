@@ -1,0 +1,55 @@
+module Relation = Jp_relation.Relation
+module Tuples = Jp_relation.Tuples
+
+let gather_lists ?restrict rels y =
+  let lists =
+    Array.map
+      (fun r -> if y < Relation.dst_count r then Relation.adj_dst r y else [||])
+      rels
+  in
+  (match restrict with
+  | Some (j, keep) ->
+    lists.(j) <- Array.of_seq (Seq.filter (fun c -> keep c y) (Array.to_seq lists.(j)))
+  | None -> ());
+  lists
+
+let max_dst rels =
+  Array.fold_left (fun acc r -> max acc (Relation.dst_count r)) 0 rels
+
+let iter_full ?restrict rels f =
+  let k = Array.length rels in
+  if k = 0 then invalid_arg "Star.iter_full: no relations";
+  let tuple = Array.make k 0 in
+  for y = 0 to max_dst rels - 1 do
+    let lists = gather_lists ?restrict rels y in
+    if Array.for_all (fun l -> Array.length l > 0) lists then begin
+      let rec fill i =
+        if i = k then f tuple y
+        else
+          Array.iter
+            (fun c ->
+              tuple.(i) <- c;
+              fill (i + 1))
+            lists.(i)
+      in
+      fill 0
+    end
+  done
+
+let project ?restrict rels =
+  let k = Array.length rels in
+  if k = 0 then invalid_arg "Star.project: no relations";
+  let dims = Array.map Relation.src_count rels in
+  let b = Tuples.create_builder ~arity:k ~dims in
+  iter_full ?restrict rels (fun tuple _y -> Tuples.add b tuple);
+  Tuples.build b
+
+let join_size ?restrict rels =
+  if Array.length rels = 0 then invalid_arg "Star.join_size: no relations";
+  let total = ref 0 in
+  for y = 0 to max_dst rels - 1 do
+    let lists = gather_lists ?restrict rels y in
+    let prod = Array.fold_left (fun acc l -> acc * Array.length l) 1 lists in
+    total := !total + prod
+  done;
+  !total

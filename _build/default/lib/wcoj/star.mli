@@ -1,0 +1,30 @@
+(** Worst-case-optimal evaluation of the star query
+    Q*{_k}(x₁,…,x{_k}) = R₁(x₁,y), …, R{_k}(x{_k},y).
+
+    Because every relation joins on the single variable y, the generic
+    worst-case-optimal join degenerates to: enumerate the y's present in
+    every relation, then emit the cross product of their inverted lists.
+    That is exactly the O(|D| + |OUT{_⋈}|) full enumeration the baselines
+    (and steps 1–2 of the paper's star algorithm) need. *)
+
+module Relation = Jp_relation.Relation
+module Tuples = Jp_relation.Tuples
+
+val iter_full :
+  ?restrict:int * (int -> int -> bool) ->
+  Relation.t array ->
+  (int array -> int -> unit) ->
+  unit
+(** [iter_full rels f] calls [f tuple y] for every tuple of the full join
+    (before projection) and its witness y.  The tuple array is reused
+    between calls.  [restrict (j, keep)] drops tuples whose j-th component
+    c fails [keep c y] — this is how the algorithm runs the sub-joins
+    R₁ ⋈ … ⋈ R{_j}⁻ ⋈ … ⋈ R{_k}. *)
+
+val project :
+  ?restrict:int * (int -> int -> bool) -> Relation.t array -> Tuples.t
+(** Full join followed by projection on (x₁,…,x{_k}) with deduplication. *)
+
+val join_size : ?restrict:int * (int -> int -> bool) -> Relation.t array -> int
+(** |OUT{_⋈}| of the (possibly restricted) star join, computed from degree
+    products without enumerating. *)

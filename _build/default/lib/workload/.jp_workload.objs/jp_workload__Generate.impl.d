@@ -1,0 +1,1 @@
+lib/workload/generate.ml: Array Hashtbl Jp_relation Jp_util Seq Zipf

@@ -1,0 +1,1 @@
+lib/workload/generate.mli: Jp_relation

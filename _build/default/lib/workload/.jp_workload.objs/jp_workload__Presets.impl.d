@@ -1,0 +1,1 @@
+lib/workload/presets.ml: Generate Jp_relation String

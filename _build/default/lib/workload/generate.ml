@@ -1,0 +1,114 @@
+module Relation = Jp_relation.Relation
+module Rng = Jp_util.Rng
+module Vec = Jp_util.Vec
+
+(* Truncated power-law set size with approximately the requested mean:
+   draw from P(s) ~ 1/s^a on [min_size, max_size], then rescale towards
+   the target mean by mixing with the mean itself. *)
+let size_sampler rng ~size_exponent ~avg_size ~min_size ~max_size =
+  let min_size = max 1 min_size in
+  let max_size = max min_size max_size in
+  let z = Zipf.create ~exponent:size_exponent (max_size - min_size + 1) in
+  fun () ->
+    let raw = min_size + Zipf.sample z rng in
+    (* Blend towards the average so the empirical mean lands close to
+       avg_size even for heavy tails. *)
+    if Rng.bool rng then raw else min max_size (max min_size avg_size)
+
+let distinct_elements rng zipf ~count ~dom buf =
+  Vec.clear buf;
+  let seen = Hashtbl.create (2 * count) in
+  let attempts = ref 0 in
+  while Vec.length buf < count && !attempts < 20 * count do
+    incr attempts;
+    let e = Zipf.sample zipf rng in
+    if not (Hashtbl.mem seen e) then begin
+      Hashtbl.add seen e ();
+      Vec.push buf e
+    end
+  done;
+  (* Zipf rejection can stall on tiny domains; top up uniformly. *)
+  while Vec.length buf < count && Hashtbl.length seen < dom do
+    let e = Rng.int rng dom in
+    if not (Hashtbl.mem seen e) then begin
+      Hashtbl.add seen e ();
+      Vec.push buf e
+    end
+  done
+
+let set_family ?(seed = 1) ?(size_exponent = 1.5) ?(element_exponent = 1.0) ~sets
+    ~dom ~avg_size ~min_size ~max_size () =
+  if sets <= 0 || dom <= 0 then invalid_arg "Generate.set_family";
+  let rng = Rng.create seed in
+  let zipf = Zipf.create ~exponent:element_exponent dom in
+  let next_size = size_sampler rng ~size_exponent ~avg_size ~min_size ~max_size in
+  let buf = Vec.create () in
+  let families =
+    Array.init sets (fun _ ->
+        let count = min dom (next_size ()) in
+        distinct_elements rng zipf ~count ~dom buf;
+        Vec.to_array buf)
+  in
+  Relation.of_sets ~dst_count:dom families
+
+let uniform_dense ?(seed = 1) ~sets ~dom ~fill () =
+  if fill < 0.0 || fill > 1.0 then invalid_arg "Generate.uniform_dense";
+  let rng = Rng.create seed in
+  let families =
+    Array.init sets (fun _ ->
+        let buf = Vec.create ~capacity:(int_of_float (fill *. float_of_int dom) + 1) () in
+        for e = 0 to dom - 1 do
+          if Rng.float rng 1.0 < fill then Vec.push buf e
+        done;
+        Vec.to_array buf)
+  in
+  Relation.of_sets ~dst_count:dom families
+
+let community_graph ?(seed = 1) ~communities ~members ~p_intra () =
+  if communities <= 0 || members <= 1 then invalid_arg "Generate.community_graph";
+  let rng = Rng.create seed in
+  let n = communities * members in
+  let edges = Vec.create () in
+  for c = 0 to communities - 1 do
+    let base = c * members in
+    for i = 0 to members - 1 do
+      for j = i + 1 to members - 1 do
+        if Rng.float rng 1.0 < p_intra then begin
+          Vec.push2 edges (base + i) (base + j);
+          Vec.push2 edges (base + j) (base + i)
+        end
+      done
+    done
+  done;
+  Relation.of_flat ~src_count:n ~dst_count:n (Vec.to_array edges)
+
+let add_containments ?(seed = 1) ~fraction r =
+  if fraction < 0.0 || fraction > 1.0 then invalid_arg "Generate.add_containments";
+  let rng = Rng.create seed in
+  let n = Relation.src_count r in
+  let donors =
+    Array.of_seq
+      (Seq.filter (fun a -> Relation.deg_src r a > 0) (Seq.init n (fun a -> a)))
+  in
+  let sets =
+    Array.init n (fun a ->
+        let original = Relation.adj_src r a in
+        if
+          Array.length donors = 0
+          || Array.length original = 0
+          || Rng.float rng 1.0 >= fraction
+        then Array.copy original
+        else begin
+          let donor = donors.(Rng.int rng (Array.length donors)) in
+          let elems = Relation.adj_src r donor in
+          let buf = Vec.create ~capacity:(Array.length elems / 2 + 1) () in
+          Array.iter (fun e -> if Rng.bool rng then Vec.push buf e) elems;
+          if Vec.length buf = 0 then Vec.push buf elems.(Rng.int rng (Array.length elems));
+          Vec.to_array buf
+        end)
+  in
+  Relation.of_sets ~dst_count:(Relation.dst_count r) sets
+
+let batch_queries ?(seed = 1) ~count ~nx ~nz () =
+  let rng = Rng.create seed in
+  Array.init count (fun _ -> (Rng.int rng nx, Rng.int rng nz))

@@ -1,0 +1,53 @@
+(** Synthetic dataset generators.
+
+    Each generator produces the bipartite relation {set id, element id}
+    (equivalently a graph edge relation) with controlled shape parameters,
+    deterministically from a seed. *)
+
+module Relation = Jp_relation.Relation
+
+val set_family :
+  ?seed:int ->
+  ?size_exponent:float ->
+  ?element_exponent:float ->
+  sets:int ->
+  dom:int ->
+  avg_size:int ->
+  min_size:int ->
+  max_size:int ->
+  unit ->
+  Relation.t
+(** A family of [sets] sets over an element domain of size [dom].  Set
+    cardinalities follow a truncated power law with mean ≈ [avg_size]
+    (clipped to [\[min_size, max_size\]], [size_exponent] controls the
+    tail, default 1.5); elements within a set are drawn Zipf
+    ([element_exponent], default 1.0) without replacement. *)
+
+val uniform_dense :
+  ?seed:int -> sets:int -> dom:int -> fill:float -> unit -> Relation.t
+(** Every set contains each element independently with probability [fill]
+    — the Image/Protein-style dense families where "the output is close to
+    a clique". *)
+
+val community_graph :
+  ?seed:int -> communities:int -> members:int -> p_intra:float -> unit -> Relation.t
+(** Example 1's social graph: [communities] groups of [members] users; an
+    edge between two users of the same community exists with probability
+    [p_intra].  Returned as the (symmetric) friendship relation
+    R(user, user); the 2-path self-join on it lists user pairs with a
+    common friend.  Node ids are community-contiguous. *)
+
+val add_containments :
+  ?seed:int -> fraction:float -> Relation.t -> Relation.t
+(** [add_containments ~fraction r] replaces a random [fraction] of the
+    sets of the family [r] with random subsets of other sets (each donor
+    element kept with probability 1/2, at least one).  Real set-valued
+    corpora (author lists, token bags) contain substantial nesting, which
+    the independence assumptions of {!set_family}/{!uniform_dense} lack;
+    the set-containment benchmarks apply this transform so the SCJ result
+    is non-trivial, as on the paper's datasets. *)
+
+val batch_queries :
+  ?seed:int -> count:int -> nx:int -> nz:int -> unit -> (int * int) array
+(** [count] uniformly random (a, b) boolean-set-intersection probes (the
+    BSI workload of Section 7.5). *)

@@ -1,0 +1,96 @@
+module Relation = Jp_relation.Relation
+
+type name = Dblp | Roadnet | Jokes | Words | Protein | Image
+
+let all = [ Dblp; Roadnet; Jokes; Words; Protein; Image ]
+
+let to_string = function
+  | Dblp -> "dblp"
+  | Roadnet -> "roadnet"
+  | Jokes -> "jokes"
+  | Words -> "words"
+  | Protein -> "protein"
+  | Image -> "image"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "dblp" -> Some Dblp
+  | "roadnet" -> Some Roadnet
+  | "jokes" -> Some Jokes
+  | "words" -> Some Words
+  | "protein" -> Some Protein
+  | "image" -> Some Image
+  | _ -> None
+
+let is_dense = function
+  | Dblp | Roadnet -> false
+  | Jokes | Words | Protein | Image -> true
+
+let scaled scale n = max 4 (int_of_float (scale *. float_of_int n))
+
+(* Shape targets mirror Table 2 at roughly 1/40-1/100 of the original
+   sizes; comments give the original characteristics. *)
+let load ?(scale = 1.0) ?(seed = 42) name =
+  let s = scaled scale in
+  match name with
+  | Dblp ->
+    (* 10M tuples, 1.5M sets, dom 3M, avg 6.6, min 1, max 500: sparse,
+       power-law sizes. *)
+    Generate.set_family ~seed ~sets:(s 15_000) ~dom:(s 30_000) ~avg_size:7
+      ~min_size:1 ~max_size:500 ~size_exponent:1.6 ~element_exponent:0.15 ()
+  | Roadnet ->
+    (* 1.5M tuples, 1M sets, dom 1M, avg 1.5, max 20: near-functional. *)
+    Generate.set_family ~seed ~sets:(s 10_000) ~dom:(s 10_000) ~avg_size:2
+      ~min_size:1 ~max_size:20 ~size_exponent:2.5 ~element_exponent:0.1 ()
+  | Jokes ->
+    (* 400M tuples, 70K sets, dom 50K, avg 5.7K (11% of dom), min 130:
+       dense with skewed elements. *)
+    Generate.set_family ~seed ~sets:(s 1_200) ~dom:(s 900) ~avg_size:(s 100)
+      ~min_size:(s 3) ~max_size:(s 200) ~size_exponent:1.2 ~element_exponent:0.7 ()
+  | Words ->
+    (* 500M tuples, 1M sets, dom 150K, avg 500, max 10K: dense-ish but most
+       sets small — the dataset where the optimizer prefers the
+       combinatorial plan for BSI. *)
+    Generate.set_family ~seed ~sets:(s 2_000) ~dom:(s 1_500) ~avg_size:(s 40)
+      ~min_size:1 ~max_size:(s 200) ~size_exponent:1.8 ~element_exponent:1.1 ()
+  | Protein ->
+    (* 900M tuples, 60K sets, dom 60K, avg 15K (25% of dom), min 50:
+       uniformly dense. *)
+    Generate.uniform_dense ~seed ~sets:(s 800) ~dom:(s 800) ~fill:0.25 ()
+  | Image ->
+    (* 800M tuples, 70K sets, dom 50K, avg 11.4K (23% of dom), min 10K:
+       uniformly dense, near-clique output. *)
+    Generate.uniform_dense ~seed ~sets:(s 900) ~dom:(s 750) ~fill:0.23 ()
+
+type characteristics = {
+  tuples : int;
+  sets : int;
+  dom : int;
+  avg_size : float;
+  min_size : int;
+  max_size : int;
+}
+
+let characteristics r =
+  let tuples = Relation.size r in
+  let sets = ref 0 and min_size = ref max_int and max_size = ref 0 in
+  for a = 0 to Relation.src_count r - 1 do
+    let d = Relation.deg_src r a in
+    if d > 0 then begin
+      incr sets;
+      if d < !min_size then min_size := d;
+      if d > !max_size then max_size := d
+    end
+  done;
+  let dom = ref 0 in
+  for b = 0 to Relation.dst_count r - 1 do
+    if Relation.deg_dst r b > 0 then incr dom
+  done;
+  {
+    tuples;
+    sets = !sets;
+    dom = !dom;
+    avg_size = (if !sets = 0 then 0.0 else float_of_int tuples /. float_of_int !sets);
+    min_size = (if !sets = 0 then 0 else !min_size);
+    max_size = !max_size;
+  }

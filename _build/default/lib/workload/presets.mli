@@ -1,0 +1,41 @@
+(** The six evaluation datasets of Table 2, reproduced as synthetic
+    generators at a configurable scale.
+
+    The original datasets (10⁶–10⁹ tuples) are not redistributable inside
+    this container, so each preset reproduces the {e shape} that drives
+    the algorithms' relative behaviour — set count vs domain size, average
+    / min / max set size, skew, and density class (sparse like
+    DBLP/RoadNet vs dense like Jokes/Words/Protein/Image) — scaled down so
+    the full benchmark matrix runs in minutes.  [scale] multiplies set
+    counts and domain sizes (1.0 = the defaults documented in DESIGN.md,
+    roughly 1/40–1/100 of the paper's sizes). *)
+
+module Relation = Jp_relation.Relation
+
+type name = Dblp | Roadnet | Jokes | Words | Protein | Image
+
+val all : name list
+(** In the paper's Table 2 order. *)
+
+val to_string : name -> string
+
+val of_string : string -> name option
+
+val load : ?scale:float -> ?seed:int -> name -> Relation.t
+(** Generates the dataset (deterministic in [seed]; default 42). *)
+
+type characteristics = {
+  tuples : int;
+  sets : int;
+  dom : int;
+  avg_size : float;
+  min_size : int;
+  max_size : int;
+}
+
+val characteristics : Relation.t -> characteristics
+(** Empirical Table-2 row of a generated dataset (sets with zero size are
+    ignored for min). *)
+
+val is_dense : name -> bool
+(** The paper's classification: DBLP and RoadNet sparse, the rest dense. *)

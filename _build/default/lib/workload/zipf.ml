@@ -1,0 +1,29 @@
+type t = { cdf : float array; exponent : float }
+
+let create ?(exponent = 1.0) n =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. (float_of_int (i + 1) ** exponent));
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  { cdf; exponent }
+
+let domain t = Array.length t.cdf
+
+let exponent t = t.exponent
+
+let sample t rng =
+  let u = Jp_util.Rng.float rng 1.0 in
+  (* least i with cdf.(i) >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo

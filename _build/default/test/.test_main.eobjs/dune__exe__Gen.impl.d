@@ -1,0 +1,1 @@
+test/gen.ml: Array Hashtbl Jp_relation Jp_util List Option

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Gen Joinproj Jp_baselines Jp_relation List Printf

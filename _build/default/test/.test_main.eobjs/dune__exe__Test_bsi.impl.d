@@ -1,0 +1,1 @@
+test/test_bsi.ml: Alcotest Array Gen Jp_bsi Jp_relation Jp_workload Printf QCheck QCheck_alcotest

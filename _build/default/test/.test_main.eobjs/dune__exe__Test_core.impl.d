@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Gen Joinproj Jp_matrix Jp_relation List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dynamic.ml: Alcotest Array Gen Hashtbl Jp_dynamic Jp_relation List QCheck QCheck_alcotest

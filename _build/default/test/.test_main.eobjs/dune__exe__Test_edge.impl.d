@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Joinproj Jp_bsi Jp_relation Jp_scj Jp_ssj List Printf

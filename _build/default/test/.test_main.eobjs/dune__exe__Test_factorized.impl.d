@@ -1,0 +1,1 @@
+test/test_factorized.ml: Alcotest Array Gen Hashtbl Joinproj Jp_relation Jp_wcoj Jp_workload List Printf

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Joinproj Jp_baselines Jp_bsi Jp_relation Jp_scj Jp_ssj Jp_workload List Printf

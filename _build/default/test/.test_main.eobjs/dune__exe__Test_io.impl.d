@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Filename Fun Gen Jp_io Jp_relation Option Printf Sys

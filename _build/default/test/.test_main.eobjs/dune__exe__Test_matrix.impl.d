@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Jp_matrix Jp_util List

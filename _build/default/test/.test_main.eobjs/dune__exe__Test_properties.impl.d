@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Gen Joinproj Jp_bsi Jp_relation Jp_scj Jp_ssj Jp_util Jp_wcoj Jp_workload List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array Gen Hashtbl Jp_query Jp_relation Jp_util List Printf QCheck QCheck_alcotest String

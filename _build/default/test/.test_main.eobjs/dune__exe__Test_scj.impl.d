@@ -1,0 +1,1 @@
+test/test_scj.ml: Alcotest Array Gen Jp_relation Jp_scj Jp_util List Printf QCheck QCheck_alcotest

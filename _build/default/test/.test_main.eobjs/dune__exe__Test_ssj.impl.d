@@ -1,0 +1,1 @@
+test/test_ssj.ml: Alcotest Array Gen Joinproj Jp_relation Jp_ssj List Printf QCheck QCheck_alcotest

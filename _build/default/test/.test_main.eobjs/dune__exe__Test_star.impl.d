@@ -1,0 +1,1 @@
+test/test_star.ml: Alcotest Gen Joinproj Jp_relation Jp_wcoj List Printf

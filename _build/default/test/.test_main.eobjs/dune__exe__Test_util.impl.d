@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Jp_util List QCheck QCheck_alcotest Seq String

@@ -1,0 +1,1 @@
+test/test_wcoj.ml: Alcotest Array Gen Hashtbl Jp_relation Jp_util Jp_wcoj List QCheck QCheck_alcotest

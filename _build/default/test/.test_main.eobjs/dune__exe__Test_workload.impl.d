@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Jp_relation Jp_scj Jp_util Jp_workload List

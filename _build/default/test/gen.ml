@@ -1,0 +1,62 @@
+(* Shared random-instance generators for the test suites. *)
+
+module Relation = Jp_relation.Relation
+
+let rng seed = Jp_util.Rng.create seed
+
+(* A random bipartite relation with [edges] attempted edges over
+   [nx] x [ny]; duplicates are generated on purpose to exercise dedup. *)
+let random_relation ?(seed = 42) ~nx ~ny ~edges () =
+  let g = rng seed in
+  let flat = Array.make (2 * edges) 0 in
+  for i = 0 to edges - 1 do
+    flat.(2 * i) <- Jp_util.Rng.int g nx;
+    flat.((2 * i) + 1) <- Jp_util.Rng.int g ny
+  done;
+  Relation.of_flat ~src_count:nx ~dst_count:ny flat
+
+(* Skewed (Zipf-ish) relation: degree of y decays as 1/(y+1). *)
+let skewed_relation ?(seed = 7) ~nx ~ny ~edges () =
+  let g = rng seed in
+  let flat = Array.make (2 * edges) 0 in
+  for i = 0 to edges - 1 do
+    let y =
+      let u = Jp_util.Rng.float g 1.0 in
+      let v = int_of_float (float_of_int ny ** u) - 1 in
+      min (ny - 1) (max 0 v)
+    in
+    flat.(2 * i) <- Jp_util.Rng.int g nx;
+    flat.((2 * i) + 1) <- y
+  done;
+  Relation.of_flat ~src_count:nx ~dst_count:ny flat
+
+(* Brute-force reference: projected 2-path join as a sorted pair list. *)
+let brute_two_path ~r ~s =
+  let acc = Hashtbl.create 97 in
+  Relation.iter
+    (fun x y ->
+      for z = 0 to Relation.src_count s - 1 do
+        if Relation.mem s z y then Hashtbl.replace acc (x, z) ()
+      done)
+    r;
+  List.sort compare (Hashtbl.fold (fun k () l -> k :: l) acc [])
+
+(* Brute-force counted reference: (x, z) -> #witnesses. *)
+let brute_two_path_counts ~r ~s =
+  let acc = Hashtbl.create 97 in
+  Relation.iter
+    (fun x y ->
+      Array.iter
+        (fun z ->
+          let k = (x, z) in
+          Hashtbl.replace acc k (1 + Option.value ~default:0 (Hashtbl.find_opt acc k)))
+        (Relation.adj_dst s y))
+    r;
+  List.sort compare (Hashtbl.fold (fun k v l -> (k, v) :: l) acc [])
+
+let pairs_to_list p = Jp_relation.Pairs.to_list p
+
+let counted_to_list c =
+  let acc = ref [] in
+  Jp_relation.Counted_pairs.iter (fun x z k -> acc := ((x, z), k) :: !acc) c;
+  List.sort compare !acc

@@ -1,0 +1,86 @@
+module Relation = Jp_relation.Relation
+module Bsi = Jp_bsi.Bsi
+
+let test_answer_one () =
+  let r = Relation.of_sets [| [| 0; 1 |]; [| 2 |] |] in
+  let s = Relation.of_sets [| [| 1; 3 |]; [| 4 |] |] in
+  Alcotest.(check bool) "intersecting" true (Bsi.answer_one ~r ~s 0 0);
+  Alcotest.(check bool) "disjoint" false (Bsi.answer_one ~r ~s 1 0);
+  Alcotest.(check bool) "out of range" false (Bsi.answer_one ~r ~s 5 0)
+
+let check_batch ~strategy seed =
+  let r = Gen.skewed_relation ~seed ~nx:25 ~ny:20 ~edges:150 () in
+  let s = Gen.skewed_relation ~seed:(seed + 1) ~nx:22 ~ny:20 ~edges:140 () in
+  let queries =
+    Jp_workload.Generate.batch_queries ~seed:(seed + 2) ~count:80 ~nx:25 ~nz:22 ()
+  in
+  let got = Bsi.answer_batch ~strategy ~r ~s queries in
+  Array.iteri
+    (fun i (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d" i)
+        (Bsi.answer_one ~r ~s a b)
+        got.(i))
+    queries
+
+let test_batch_mm () = check_batch ~strategy:Bsi.Mm 101
+
+let test_batch_combinatorial () = check_batch ~strategy:Bsi.Combinatorial 102
+
+let prop_batch_matches_single =
+  QCheck.Test.make ~name:"batched answers = per-query answers" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let r = Gen.random_relation ~seed:(seed + 4000) ~nx:12 ~ny:10 ~edges:50 () in
+      let s = Gen.random_relation ~seed:(seed + 5000) ~nx:12 ~ny:10 ~edges:50 () in
+      let queries =
+        Jp_workload.Generate.batch_queries ~seed ~count:30 ~nx:12 ~nz:12 ()
+      in
+      let batched = Bsi.answer_batch ~r ~s queries in
+      Array.for_all
+        (fun x -> x)
+        (Array.mapi (fun i (a, b) -> batched.(i) = Bsi.answer_one ~r ~s a b) queries))
+
+let test_simulate_accounting () =
+  let r = Gen.skewed_relation ~seed:103 ~nx:20 ~ny:15 ~edges:100 () in
+  let queries = Jp_workload.Generate.batch_queries ~seed:104 ~count:50 ~nx:20 ~nz:20 () in
+  let stats = Bsi.simulate ~r ~s:r ~queries ~rate:1000.0 ~batch_size:10 () in
+  Alcotest.(check int) "batches" 5 stats.Bsi.batches;
+  Alcotest.(check bool) "delay positive" true (stats.Bsi.avg_delay > 0.0);
+  Alcotest.(check bool) "max >= avg" true (stats.Bsi.max_delay >= stats.Bsi.avg_delay);
+  (* larger batches must increase the queueing component of the delay
+     lower bound: with batch = n the first query waits (n-1)/rate *)
+  let big = Bsi.simulate ~r ~s:r ~queries ~rate:1000.0 ~batch_size:50 () in
+  Alcotest.(check int) "one batch" 1 big.Bsi.batches;
+  Alcotest.(check bool) "waiting dominates" true (big.Bsi.avg_delay >= 0.02)
+
+let test_simulate_guards () =
+  let r = Relation.of_sets [| [| 0 |] |] in
+  Alcotest.check_raises "batch size" (Invalid_argument "Bsi.simulate: batch_size must be >= 1")
+    (fun () ->
+      ignore (Bsi.simulate ~r ~s:r ~queries:[| (0, 0) |] ~rate:1.0 ~batch_size:0 ()));
+  Alcotest.check_raises "rate" (Invalid_argument "Bsi.simulate: rate must be positive")
+    (fun () ->
+      ignore (Bsi.simulate ~r ~s:r ~queries:[| (0, 0) |] ~rate:0.0 ~batch_size:1 ()))
+
+let test_proposition2 () =
+  let n = 1_000_000 and rate = 1000.0 in
+  let opt = Bsi.optimal_batch_size ~n ~rate in
+  Alcotest.(check bool) "positive" true (opt >= 1);
+  (* the predicted latency curve is minimized near the closed form *)
+  let lat c = Bsi.predicted_latency ~n ~rate ~batch_size:c in
+  Alcotest.(check bool) "beats half" true (lat opt <= lat (max 1 (opt / 2)));
+  Alcotest.(check bool) "beats double" true (lat opt <= lat (2 * opt));
+  Alcotest.check_raises "guard" (Invalid_argument "Bsi.optimal_batch_size")
+    (fun () -> ignore (Bsi.optimal_batch_size ~n:0 ~rate))
+
+let suite =
+  [
+    Alcotest.test_case "answer one" `Quick test_answer_one;
+    Alcotest.test_case "batch mm" `Quick test_batch_mm;
+    Alcotest.test_case "batch combinatorial" `Quick test_batch_combinatorial;
+    QCheck_alcotest.to_alcotest prop_batch_matches_single;
+    Alcotest.test_case "simulate accounting" `Quick test_simulate_accounting;
+    Alcotest.test_case "simulate guards" `Quick test_simulate_guards;
+    Alcotest.test_case "proposition 2" `Quick test_proposition2;
+  ]

@@ -1,0 +1,110 @@
+(* Cross-library integration: run every engine / application end-to-end on
+   small instances of the Table-2 presets and verify they all agree.  This
+   is the safety net the benchmark harness relies on (its engines must
+   produce identical |OUT| before their times are comparable). *)
+
+module Relation = Jp_relation.Relation
+module Pairs = Jp_relation.Pairs
+module Presets = Jp_workload.Presets
+
+let small name = Presets.load ~scale:0.02 ~seed:7 name
+
+let two_path_engines =
+  [
+    ("mmjoin", fun r -> Joinproj.Two_path.project ~r ~s:r ());
+    ( "nonmm",
+      fun r ->
+        Joinproj.Two_path.project ~strategy:Joinproj.Two_path.Combinatorial ~r ~s:r () );
+    ("wcoj", fun r -> Jp_baselines.Fulljoin.two_path ~r ~s:r ());
+    ("hash", fun r -> Jp_baselines.Hash_join.two_path ~r ~s:r);
+    ("sortmerge", fun r -> Jp_baselines.Sortmerge_join.two_path ~r ~s:r);
+    ("bitset", fun r -> Jp_baselines.Bitset_engine.two_path ~r ~s:r ());
+  ]
+
+let test_two_path_engines_agree () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      match two_path_engines with
+      | [] -> assert false
+      | (_, first) :: rest ->
+        let reference = first r in
+        List.iter
+          (fun (engine, f) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s on %s" engine (Presets.to_string name))
+              true
+              (Pairs.equal reference (f r)))
+          rest)
+    Presets.all
+
+let test_ssj_agree_on_presets () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      let reference = Jp_ssj.Mm_ssj.join ~c:2 r in
+      Alcotest.(check bool)
+        (Printf.sprintf "sizeaware on %s" (Presets.to_string name))
+        true
+        (Pairs.equal reference (Jp_ssj.Size_aware.join ~c:2 r));
+      Alcotest.(check bool)
+        (Printf.sprintf "sizeaware++ on %s" (Presets.to_string name))
+        true
+        (Pairs.equal reference (Jp_ssj.Size_aware_pp.join ~c:2 r)))
+    [ Presets.Dblp; Presets.Jokes; Presets.Image ]
+
+let test_scj_agree_on_presets () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      let reference = Jp_scj.Mm_scj.join r in
+      List.iter
+        (fun (algo, f) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" algo (Presets.to_string name))
+            true
+            (Pairs.equal reference (f r)))
+        [
+          ("pretti", Jp_scj.Pretti.join);
+          ("limit+", Jp_scj.Limit_plus.join ~limit:2);
+          ("piejoin", fun r -> Jp_scj.Piejoin.join r);
+        ])
+    [ Presets.Roadnet; Presets.Words; Presets.Protein ]
+
+let test_star_strategies_agree_on_presets () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      let rels = [| r; r; r |] in
+      Alcotest.(check bool)
+        (Printf.sprintf "star on %s" (Presets.to_string name))
+        true
+        (Jp_relation.Tuples.equal
+           (Joinproj.Star.project ~strategy:Joinproj.Star.Matrix rels)
+           (Joinproj.Star.project ~strategy:Joinproj.Star.Combinatorial rels)))
+    [ Presets.Dblp; Presets.Roadnet; Presets.Words ]
+
+let test_bsi_strategies_agree () =
+  let r = small Presets.Jokes in
+  let n = Relation.src_count r in
+  let queries = Jp_workload.Generate.batch_queries ~seed:3 ~count:200 ~nx:n ~nz:n () in
+  let mm = Jp_bsi.Bsi.answer_batch ~strategy:Jp_bsi.Bsi.Mm ~r ~s:r queries in
+  let comb = Jp_bsi.Bsi.answer_batch ~strategy:Jp_bsi.Bsi.Combinatorial ~r ~s:r queries in
+  Alcotest.(check bool) "mm = combinatorial answers" true (mm = comb)
+
+let test_ordered_consistent_with_unordered () =
+  let r = small Presets.Words in
+  let c = 2 in
+  let unordered = Pairs.count (Jp_ssj.Mm_ssj.join ~c r) in
+  let ordered = Array.length (Jp_ssj.Ordered.via_counts ~c r) in
+  Alcotest.(check int) "same pair count" unordered ordered
+
+let suite =
+  [
+    Alcotest.test_case "two-path engines agree" `Quick test_two_path_engines_agree;
+    Alcotest.test_case "ssj algorithms agree" `Quick test_ssj_agree_on_presets;
+    Alcotest.test_case "scj algorithms agree" `Quick test_scj_agree_on_presets;
+    Alcotest.test_case "star strategies agree" `Quick test_star_strategies_agree_on_presets;
+    Alcotest.test_case "bsi strategies agree" `Quick test_bsi_strategies_agree;
+    Alcotest.test_case "ordered vs unordered" `Quick test_ordered_consistent_with_unordered;
+  ]

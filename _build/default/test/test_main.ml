@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "joinproj"
+    [
+      ("util", Test_util.suite);
+      ("parallel", Test_parallel.suite);
+      ("matrix", Test_matrix.suite);
+      ("relation", Test_relation.suite);
+      ("wcoj", Test_wcoj.suite);
+      ("core", Test_core.suite);
+      ("star", Test_star.suite);
+      ("ssj", Test_ssj.suite);
+      ("scj", Test_scj.suite);
+      ("bsi", Test_bsi.suite);
+      ("workload", Test_workload.suite);
+      ("baselines", Test_baselines.suite);
+      ("integration", Test_integration.suite);
+      ("edge", Test_edge.suite);
+      ("query", Test_query.suite);
+      ("factorized", Test_factorized.suite);
+      ("io", Test_io.suite);
+      ("dynamic", Test_dynamic.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,63 @@
+module Pool = Jp_parallel.Pool
+
+let test_parallel_for_covers () =
+  let n = 1000 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for ~domains:4 ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "each index exactly once" true
+    (Array.for_all (fun h -> h = 1) hits)
+
+let test_parallel_for_sequential_degenerate () =
+  let n = 100 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for ~domains:1 ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "domains=1 covers" true (Array.for_all (fun h -> h = 1) hits)
+
+let test_parallel_for_empty () =
+  let called = ref false in
+  Pool.parallel_for ~domains:4 ~lo:5 ~hi:5 (fun _ -> called := true);
+  Alcotest.(check bool) "empty range" false !called
+
+let test_ranges_partition () =
+  let n = 777 in
+  let hits = Array.make n 0 in
+  Pool.parallel_for_ranges ~domains:3 ~chunk:50 ~lo:0 ~hi:n (fun lo hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check bool) "ranges cover exactly" true (Array.for_all (fun h -> h = 1) hits)
+
+let test_map_reduce () =
+  let n = 10_000 in
+  let total =
+    Pool.map_reduce ~domains:4 ~lo:0 ~hi:n ~combine:( + ) ~init:0 (fun i -> i)
+  in
+  Alcotest.(check int) "sum" (n * (n - 1) / 2) total
+
+let test_map_reduce_sequential () =
+  let total =
+    Pool.map_reduce ~domains:1 ~lo:1 ~hi:11 ~combine:( + ) ~init:0 (fun i -> i)
+  in
+  Alcotest.(check int) "sum 1..10" 55 total
+
+exception Boom
+
+let test_exception_propagates () =
+  Alcotest.check_raises "worker exception reraised" Boom (fun () ->
+      Pool.parallel_for ~domains:3 ~lo:0 ~hi:100 (fun i ->
+          if i = 37 then raise Boom))
+
+let test_available_cores () =
+  Alcotest.(check bool) "at least one core" true (Pool.available_cores () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "parallel_for covers" `Quick test_parallel_for_covers;
+    Alcotest.test_case "parallel_for domains=1" `Quick test_parallel_for_sequential_degenerate;
+    Alcotest.test_case "parallel_for empty" `Quick test_parallel_for_empty;
+    Alcotest.test_case "ranges partition" `Quick test_ranges_partition;
+    Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+    Alcotest.test_case "map_reduce sequential" `Quick test_map_reduce_sequential;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "available cores" `Quick test_available_cores;
+  ]

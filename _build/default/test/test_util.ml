@@ -1,0 +1,203 @@
+module Bitset = Jp_util.Bitset
+module Sorted = Jp_util.Sorted
+module Vec = Jp_util.Vec
+module Rng = Jp_util.Rng
+
+let check = Alcotest.(check (list int))
+
+let test_bitset_basic () =
+  let b = Bitset.create 200 in
+  Alcotest.(check bool) "fresh empty" true (Bitset.is_empty b);
+  Bitset.set b 0;
+  Bitset.set b 61;
+  Bitset.set b 62;
+  Bitset.set b 199;
+  Alcotest.(check int) "count" 4 (Bitset.count b);
+  check "iter order" [ 0; 61; 62; 199 ] (Bitset.to_list b);
+  Bitset.unset b 62;
+  Alcotest.(check bool) "unset" false (Bitset.mem b 62);
+  Alcotest.(check int) "count after unset" 3 (Bitset.count b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "set oob" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.set b 10);
+  Alcotest.check_raises "neg" (Invalid_argument "Bitset: index out of bounds")
+    (fun () -> Bitset.mem b (-1) |> ignore)
+
+let test_bitset_ops () =
+  let a = Bitset.of_sorted_array 300 [| 1; 70; 150; 299 |] in
+  let b = Bitset.of_sorted_array 300 [| 1; 71; 150 |] in
+  let u = Bitset.copy a in
+  Bitset.union_into ~dst:u b;
+  check "union" [ 1; 70; 71; 150; 299 ] (Bitset.to_list u);
+  Alcotest.(check int) "inter_count" 2 (Bitset.inter_count a b);
+  let i = Bitset.copy a in
+  Bitset.inter_into ~dst:i b;
+  check "inter" [ 1; 150 ] (Bitset.to_list i)
+
+let prop_bitset_matches_model =
+  QCheck.Test.make ~name:"bitset agrees with a bool-array model" ~count:200
+    QCheck.(pair (int_bound 300) (small_list (int_bound 300)))
+    (fun (extra, positions) ->
+      let width = 301 + extra in
+      let b = Bitset.create width in
+      let model = Array.make width false in
+      List.iter
+        (fun p ->
+          Bitset.set b p;
+          model.(p) <- true)
+        positions;
+      let model_list =
+        Array.to_list (Array.of_seq (Seq.filter (fun i -> model.(i))
+          (Seq.init width (fun i -> i))))
+      in
+      Bitset.to_list b = model_list
+      && Bitset.count b = List.length model_list)
+
+let sorted_of_list l =
+  let a = Array.of_list l in
+  Array.sort compare a;
+  let v = Vec.create () in
+  Array.iter (fun x -> Vec.push v x) a;
+  Vec.sort_dedup v;
+  Vec.to_array v
+
+let prop_intersect =
+  QCheck.Test.make ~name:"Sorted.intersect = set intersection" ~count:300
+    QCheck.(pair (small_list (int_bound 100)) (small_list (int_bound 100)))
+    (fun (la, lb) ->
+      let a = sorted_of_list la and b = sorted_of_list lb in
+      let expect =
+        List.sort_uniq compare (List.filter (fun x -> List.mem x lb) la)
+      in
+      Array.to_list (Sorted.intersect a b) = expect
+      && Sorted.intersect_count a b = List.length expect)
+
+let prop_union_difference =
+  QCheck.Test.make ~name:"Sorted.union/difference/subset" ~count:300
+    QCheck.(pair (small_list (int_bound 100)) (small_list (int_bound 100)))
+    (fun (la, lb) ->
+      let a = sorted_of_list la and b = sorted_of_list lb in
+      let sa = List.sort_uniq compare la and sb = List.sort_uniq compare lb in
+      Array.to_list (Sorted.union a b) = List.sort_uniq compare (sa @ sb)
+      && Array.to_list (Sorted.difference a b)
+         = List.filter (fun x -> not (List.mem x sb)) sa
+      && Sorted.subset a b = List.for_all (fun x -> List.mem x sb) sa)
+
+let test_gallop () =
+  let a = [| 2; 4; 6; 8; 10; 12; 14 |] in
+  Alcotest.(check int) "gallop hit" 3 (Sorted.gallop a ~start:0 8);
+  Alcotest.(check int) "gallop miss" 3 (Sorted.gallop a ~start:0 7);
+  Alcotest.(check int) "gallop end" 7 (Sorted.gallop a ~start:0 100);
+  Alcotest.(check int) "gallop start" 4 (Sorted.gallop a ~start:4 3)
+
+let test_vec () =
+  let v = Vec.create ~capacity:1 () in
+  for i = 9 downto 0 do
+    Vec.push v i;
+    Vec.push v i
+  done;
+  Alcotest.(check int) "len" 20 (Vec.length v);
+  Vec.sort_dedup v;
+  check "sort_dedup" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (Array.to_list (Vec.to_array v));
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push2 v 5 7;
+  check "push2" [ 5; 7 ] (Array.to_list (Vec.to_array v))
+
+let test_rng_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  check "same seed same stream" xs ys;
+  let c = Rng.create 124 in
+  let zs = List.init 50 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let g = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let prop_intsort =
+  QCheck.Test.make ~name:"Intsort.sort = Array.sort compare" ~count:500
+    QCheck.(small_list int)
+    (fun l ->
+      let a = Array.of_list l in
+      let b = Array.of_list l in
+      Jp_util.Intsort.sort a;
+      Array.sort compare b;
+      a = b)
+
+let prop_intsort_large_values =
+  QCheck.Test.make ~name:"Intsort handles large and negative values" ~count:100
+    QCheck.(list_of_size (Gen.int_range 40 120) (oneof [ int; int_bound 5 ]))
+    (fun l ->
+      let a = Array.of_list l in
+      let b = Array.of_list l in
+      Jp_util.Intsort.sort a;
+      Array.sort compare b;
+      a = b)
+
+let test_intsort_sub () =
+  let a = [| 9; 8; 7; 6; 5; 4 |] in
+  Jp_util.Intsort.sort_sub a ~lo:1 ~hi:4;
+  Alcotest.(check (list int)) "range sorted" [ 9; 6; 7; 8; 5; 4 ] (Array.to_list a);
+  Alcotest.check_raises "bad range" (Invalid_argument "Intsort.sort_sub") (fun () ->
+      Jp_util.Intsort.sort_sub a ~lo:2 ~hi:10)
+
+let test_heap_basic () =
+  let h = Jp_util.Heap.create () in
+  Alcotest.(check bool) "empty" true (Jp_util.Heap.is_empty h);
+  Jp_util.Heap.push h ~priority:5 "five";
+  Jp_util.Heap.push h ~priority:1 "one";
+  Jp_util.Heap.push h ~priority:3 "three";
+  Alcotest.(check int) "size" 3 (Jp_util.Heap.size h);
+  Alcotest.(check int) "min" 1 (Jp_util.Heap.min_priority h);
+  Alcotest.(check (pair int string)) "pop 1" (1, "one") (Jp_util.Heap.pop_min h);
+  Alcotest.(check (pair int string)) "pop 3" (3, "three") (Jp_util.Heap.pop_min h);
+  Alcotest.(check (pair int string)) "pop 5" (5, "five") (Jp_util.Heap.pop_min h);
+  Alcotest.check_raises "empty pop" (Invalid_argument "Heap.pop_min: empty")
+    (fun () -> ignore (Jp_util.Heap.pop_min h))
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(small_list int)
+    (fun l ->
+      let h = Jp_util.Heap.create () in
+      List.iter (fun p -> Jp_util.Heap.push h ~priority:p ()) l;
+      let drained = List.init (List.length l) (fun _ -> fst (Jp_util.Heap.pop_min h)) in
+      drained = List.sort compare l)
+
+let test_tablefmt () =
+  let s =
+    Jp_util.Tablefmt.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ]
+  in
+  Alcotest.(check bool) "contains rule" true (String.length s > 0);
+  Alcotest.(check string) "big_int" "1,234,567" (Jp_util.Tablefmt.big_int 1234567);
+  Alcotest.(check string) "seconds ms" "12.0ms" (Jp_util.Tablefmt.seconds 0.012)
+
+let suite =
+  [
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
+    Alcotest.test_case "bitset ops" `Quick test_bitset_ops;
+    QCheck_alcotest.to_alcotest prop_bitset_matches_model;
+    QCheck_alcotest.to_alcotest prop_intersect;
+    QCheck_alcotest.to_alcotest prop_union_difference;
+    Alcotest.test_case "gallop" `Quick test_gallop;
+    Alcotest.test_case "vec" `Quick test_vec;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    QCheck_alcotest.to_alcotest prop_intsort;
+    QCheck_alcotest.to_alcotest prop_intsort_large_values;
+    Alcotest.test_case "intsort sub" `Quick test_intsort_sub;
+    Alcotest.test_case "heap basic" `Quick test_heap_basic;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "tablefmt" `Quick test_tablefmt;
+  ]

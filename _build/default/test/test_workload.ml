@@ -1,0 +1,124 @@
+module Relation = Jp_relation.Relation
+module Zipf = Jp_workload.Zipf
+module Generate = Jp_workload.Generate
+module Presets = Jp_workload.Presets
+
+let test_zipf_skew () =
+  let z = Zipf.create ~exponent:1.0 100 in
+  let g = Jp_util.Rng.create 7 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = Zipf.sample z g in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "head heavier than tail" true (counts.(0) > 4 * counts.(50));
+  Alcotest.(check int) "domain" 100 (Zipf.domain z)
+
+let test_zipf_determinism () =
+  let z = Zipf.create 50 in
+  let a = Jp_util.Rng.create 9 and b = Jp_util.Rng.create 9 in
+  let xs = List.init 100 (fun _ -> Zipf.sample z a) in
+  let ys = List.init 100 (fun _ -> Zipf.sample z b) in
+  Alcotest.(check (list int)) "deterministic" xs ys
+
+let test_set_family_shape () =
+  let r =
+    Generate.set_family ~seed:5 ~sets:200 ~dom:300 ~avg_size:8 ~min_size:2
+      ~max_size:40 ()
+  in
+  Alcotest.(check int) "src count" 200 (Relation.src_count r);
+  Alcotest.(check int) "dst count" 300 (Relation.dst_count r);
+  for a = 0 to 199 do
+    let d = Relation.deg_src r a in
+    if d < 2 || d > 40 then
+      Alcotest.failf "set %d has out-of-range size %d" a d
+  done
+
+let test_uniform_dense_fill () =
+  let r = Generate.uniform_dense ~seed:6 ~sets:100 ~dom:200 ~fill:0.3 () in
+  let avg = float_of_int (Relation.size r) /. 100.0 /. 200.0 in
+  Alcotest.(check bool) "fill close to 0.3" true (avg > 0.25 && avg < 0.35)
+
+let test_community_graph () =
+  let r = Generate.community_graph ~seed:8 ~communities:4 ~members:10 ~p_intra:1.0 () in
+  (* complete communities: each node has 9 neighbours *)
+  Alcotest.(check int) "degree" 9 (Relation.deg_src r 0);
+  (* no cross-community edge: neighbours of node 0 stay in [0, 10) *)
+  Array.iter
+    (fun b -> if b >= 10 then Alcotest.fail "cross-community edge")
+    (Relation.adj_src r 0);
+  (* symmetric *)
+  Alcotest.(check bool) "symmetric" true
+    (Relation.mem r 0 1 = Relation.mem r 1 0)
+
+let test_add_containments () =
+  let base = Generate.set_family ~seed:9 ~sets:100 ~dom:150 ~avg_size:10
+      ~min_size:2 ~max_size:30 () in
+  let enriched = Generate.add_containments ~seed:10 ~fraction:0.5 base in
+  Alcotest.(check int) "same set count" (Relation.src_count base)
+    (Relation.src_count enriched);
+  Alcotest.(check int) "same domain" (Relation.dst_count base)
+    (Relation.dst_count enriched);
+  (* enrichment must create containment pairs *)
+  let scj = Jp_scj.Pretti.join enriched in
+  Alcotest.(check bool) "containments exist" true (Jp_relation.Pairs.count scj > 0);
+  (* fraction 0 is the identity *)
+  let same = Generate.add_containments ~seed:10 ~fraction:0.0 base in
+  Alcotest.(check bool) "fraction 0 identity" true (Relation.equal base same);
+  Alcotest.check_raises "bad fraction" (Invalid_argument "Generate.add_containments")
+    (fun () -> ignore (Generate.add_containments ~fraction:1.5 base))
+
+let test_presets_generate () =
+  List.iter
+    (fun name ->
+      let r = Presets.load ~scale:0.05 name in
+      let ch = Presets.characteristics r in
+      if ch.Presets.tuples <= 0 then
+        Alcotest.failf "%s generated empty" (Presets.to_string name);
+      if ch.Presets.sets <= 0 then Alcotest.fail "no sets";
+      Alcotest.(check bool) "avg within min/max" true
+        (float_of_int ch.Presets.min_size <= ch.Presets.avg_size
+        && ch.Presets.avg_size <= float_of_int ch.Presets.max_size))
+    Presets.all
+
+let test_presets_roundtrip_names () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Presets.to_string n)
+        true
+        (Presets.of_string (Presets.to_string n) = Some n))
+    Presets.all;
+  Alcotest.(check bool) "unknown" true (Presets.of_string "nope" = None)
+
+let test_presets_determinism () =
+  let a = Presets.load ~scale:0.05 Presets.Dblp in
+  let b = Presets.load ~scale:0.05 Presets.Dblp in
+  Alcotest.(check bool) "same seed same data" true (Relation.equal a b)
+
+let test_density_classes () =
+  (* dense presets should have much higher fill than sparse ones *)
+  let fill name =
+    let r = Presets.load ~scale:0.05 name in
+    let ch = Presets.characteristics r in
+    ch.Presets.avg_size /. float_of_int (max 1 ch.Presets.dom)
+  in
+  Alcotest.(check bool) "image denser than dblp" true
+    (fill Presets.Image > 10.0 *. fill Presets.Dblp);
+  Alcotest.(check bool) "protein denser than roadnet" true
+    (fill Presets.Protein > 10.0 *. fill Presets.Roadnet)
+
+let suite =
+  [
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf determinism" `Quick test_zipf_determinism;
+    Alcotest.test_case "set family shape" `Quick test_set_family_shape;
+    Alcotest.test_case "uniform dense fill" `Quick test_uniform_dense_fill;
+    Alcotest.test_case "community graph" `Quick test_community_graph;
+    Alcotest.test_case "add containments" `Quick test_add_containments;
+    Alcotest.test_case "presets generate" `Quick test_presets_generate;
+    Alcotest.test_case "preset names" `Quick test_presets_roundtrip_names;
+    Alcotest.test_case "preset determinism" `Quick test_presets_determinism;
+    Alcotest.test_case "density classes" `Quick test_density_classes;
+  ]
