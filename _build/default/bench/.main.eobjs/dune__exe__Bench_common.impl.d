@@ -1,1 +1,1 @@
-bench/bench_common.ml: Hashtbl Jp_relation Jp_util Jp_workload List Printf String
+bench/bench_common.ml: Fun Hashtbl Jp_obs Jp_relation Jp_util Jp_workload List Option Printf String

@@ -1,1 +1,1 @@
-bench/bench_join.ml: Bench_common Joinproj Jp_baselines Jp_parallel Jp_relation Jp_util Jp_workload List
+bench/bench_join.ml: Bench_common Joinproj Jp_baselines Jp_parallel Jp_relation Jp_util Jp_workload List Printf

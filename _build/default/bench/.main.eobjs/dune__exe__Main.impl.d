@@ -1,1 +1,1 @@
-bench/main.ml: Arg Bench_ablation Bench_bsi Bench_common Bench_datasets Bench_join Bench_kernels Bench_matrix Bench_scj Bench_ssj Jp_matrix Jp_parallel List Printf String
+bench/main.ml: Arg Bench_ablation Bench_bsi Bench_common Bench_datasets Bench_join Bench_kernels Bench_matrix Bench_scj Bench_ssj Jp_matrix Jp_obs Jp_parallel List Printf String

@@ -38,7 +38,7 @@ let dedup cfg =
               Jp_relation.Pairs.count (Jp_wcoj.Expand.project ~r ~s:r ()))
         in
         let hash, n2 = Bench_common.timed_cell cfg (fun () -> expand_hash_dedup r) in
-        Bench_common.check_consistent ~label:(Presets.to_string name) [ n1; n2 ];
+        Bench_common.check_consistent cfg ~label:(Presets.to_string name) [ n1; n2 ];
         [ Presets.to_string name; stamp; hash ])
       [ Presets.Jokes; Presets.Protein; Presets.Image ]
   in

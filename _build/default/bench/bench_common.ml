@@ -10,6 +10,7 @@ type config = {
   repeats : int; (* median-of-n timing *)
   only : string list; (* experiment tags to run; [] = all *)
   cores : int list; (* core counts for the multicore figures *)
+  strict : bool; (* cross-engine |OUT| disagreement is a hard error *)
 }
 
 let default_config =
@@ -18,6 +19,7 @@ let default_config =
     repeats = 1;
     only = [];
     cores = [ 1; 2; 4 ];
+    strict = false;
   }
 
 let wants cfg tag =
@@ -43,23 +45,115 @@ let dataset cfg name =
     Hashtbl.add cache key r;
     r
 
-let time cfg f = snd (Jp_util.Timer.time_median ~repeats:cfg.repeats f)
+(* ------------------------------------------------------------------ *)
+(* JSON record sink (--json FILE)                                      *)
+(*                                                                     *)
+(* When main.ml enables Jp_obs, every timed cell appends one record:   *)
+(* experiment tag, cell label, median seconds, checksum (when the cell *)
+(* produces one) and the engine-counter deltas across the runs.        *)
+
+let json_records : Jp_obs.Json.t list ref = ref []
+
+let current_tag = ref ""
+
+let cell_seq = ref 0
+
+let set_experiment tag =
+  current_tag := tag;
+  cell_seq := 0
+
+let counter_delta before after =
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value ~default:0 (List.assoc_opt name before) in
+      if v - v0 <> 0 then Some (name, v - v0) else None)
+    after
+
+let emit_record ?checksum ~label ~seconds counters =
+  let open Jp_obs.Json in
+  let fields =
+    [ ("experiment", String !current_tag); ("label", String label);
+      ("seconds", Float seconds) ]
+    @ (match checksum with Some c -> [ ("checksum", Int c) ] | None -> [])
+    @ [ ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters)) ]
+  in
+  json_records := Obj fields :: !json_records
+
+let auto_label = function
+  | Some l -> l
+  | None ->
+    incr cell_seq;
+    Printf.sprintf "cell%d" !cell_seq
+
+let time_raw cfg f = snd (Jp_util.Timer.time_median ~repeats:cfg.repeats f)
+
+let time ?label cfg f =
+  if not (Jp_obs.recording ()) then time_raw cfg f
+  else begin
+    let before = Jp_obs.counter_values () in
+    let t = time_raw cfg f in
+    emit_record ~label:(auto_label label) ~seconds:t
+      (counter_delta before (Jp_obs.counter_values ()));
+    t
+  end
 
 (* Runs [f] and renders its wall time, also returning a checksum so that
    result sizes can be cross-checked between engines in the same row. *)
-let timed_cell cfg f =
+let timed_cell ?label cfg f =
   let result = ref 0 in
+  let run () =
+    result := f ();
+    !result
+  in
   let t =
-    time cfg (fun () ->
-        result := f ();
-        !result)
+    if not (Jp_obs.recording ()) then time_raw cfg run
+    else begin
+      let before = Jp_obs.counter_values () in
+      let t = time_raw cfg run in
+      emit_record ~checksum:!result ~label:(auto_label label) ~seconds:t
+        (counter_delta before (Jp_obs.counter_values ()));
+      t
+    end
   in
   (Tablefmt.seconds t, !result)
 
-let check_consistent ~label sizes =
+let write_json ~path cfg =
+  let open Jp_obs.Json in
+  let doc =
+    Obj
+      [
+        ( "config",
+          Obj
+            [
+              ("scale", Float cfg.scale);
+              ("repeats", Int cfg.repeats);
+              ("strict", Bool cfg.strict);
+              ("cores", List (List.map (fun c -> Int c) cfg.cores));
+            ] );
+        ("records", List (List.rev !json_records));
+      ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string_pretty doc);
+      output_char oc '\n');
+  Printf.printf "\nwrote %d benchmark records to %s\n%!"
+    (List.length !json_records) path
+
+let check_consistent cfg ~label sizes =
   match List.filter (fun s -> s >= 0) sizes with
   | [] -> ()
   | first :: rest ->
-    if not (List.for_all (fun s -> s = first) rest) then
-      Printf.printf "  WARNING: engines disagree on |OUT| for %s: %s\n%!" label
-        (String.concat ", " (List.map string_of_int (first :: rest)))
+    if not (List.for_all (fun s -> s = first) rest) then begin
+      let detail = String.concat ", " (List.map string_of_int (first :: rest)) in
+      if cfg.strict then begin
+        Printf.printf "  ERROR: engines disagree on |OUT| for %s: %s\n%!" label
+          detail;
+        exit 1
+      end
+      else
+        Printf.printf "  WARNING: engines disagree on |OUT| for %s: %s\n%!" label
+          detail
+    end

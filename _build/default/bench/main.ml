@@ -32,6 +32,7 @@ let experiments =
 let () =
   let cfg = ref Bench_common.default_config in
   let bechamel = ref false in
+  let json_out = ref None in
   let set_only s =
     cfg := { !cfg with Bench_common.only = String.split_on_char ',' s }
   in
@@ -45,8 +46,18 @@ let () =
         "N median-of-N timing (default 1)" );
       ("--only", Arg.String set_only, "TAGS comma-separated experiment id prefixes");
       ( "--quick",
-        Arg.Unit (fun () -> cfg := { !cfg with Bench_common.scale = 0.35 }),
-        " shrink datasets for a fast smoke pass" );
+        Arg.Unit
+          (fun () ->
+            (* quick passes double as CI smoke tests, so |OUT| disagreements
+               must fail loudly *)
+            cfg := { !cfg with Bench_common.scale = 0.35; Bench_common.strict = true }),
+        " shrink datasets for a fast smoke pass (implies --strict)" );
+      ( "--strict",
+        Arg.Unit (fun () -> cfg := { !cfg with Bench_common.strict = true }),
+        " treat cross-engine |OUT| disagreements as hard errors" );
+      ( "--json",
+        Arg.String (fun f -> json_out := Some f),
+        "FILE write per-cell records (median seconds, checksum, counters) as JSON" );
       ("--bechamel", Arg.Set bechamel, " run the Bechamel kernel suite instead");
     ]
   in
@@ -62,6 +73,9 @@ let () =
   (* calibrate the optimizer's machine model up front so the cost is not
      charged to the first timed MMJoin cell *)
   ignore (Jp_matrix.Cost.machine ());
+  (* --json turns the engine counters on; each timed cell then snapshots
+     their deltas into its record *)
+  if !json_out <> None then Jp_obs.enable ();
   if !bechamel then Bench_kernels.run cfg.Bench_common.scale
   else begin
     (* Prefix match so that --only FIG4b also runs FIG4b-dense. *)
@@ -76,6 +90,15 @@ let () =
              && String.sub t 0 (String.length o) = o)
            cfg.Bench_common.only
     in
-    List.iter (fun (tag, f) -> if matches tag then f cfg) experiments;
+    List.iter
+      (fun (tag, f) ->
+        if matches tag then begin
+          Bench_common.set_experiment tag;
+          f cfg
+        end)
+      experiments;
+    (match !json_out with
+    | Some path -> Bench_common.write_json ~path cfg
+    | None -> ());
     print_newline ()
   end

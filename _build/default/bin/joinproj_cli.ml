@@ -75,6 +75,14 @@ let report name count seconds =
   Printf.printf "%-22s %12s pairs   %s\n" name (Jp_util.Tablefmt.big_int count)
     (Jp_util.Tablefmt.seconds seconds)
 
+(* Shared by [explain] and [profile]: the Algorithm-3 plan for the 2-path
+   self-join plus its counted variant, one line each. *)
+let print_explain ~domains r =
+  let plan = Optimizer.plan ~domains ~r ~s:r () in
+  print_endline (Optimizer.explain plan);
+  let counts_plan = Optimizer.plan_counts ~domains ~r ~s:r () in
+  print_endline ("counted variant: " ^ Optimizer.explain counts_plan)
+
 (* ------------------------------------------------------------------ *)
 (* commands                                                            *)
 
@@ -105,10 +113,7 @@ let datasets_cmd =
 let explain_cmd =
   let run name input scale seed domains =
     let r = load_source name input scale seed in
-    let plan = Optimizer.plan ~domains ~r ~s:r () in
-    print_endline (Optimizer.explain plan);
-    let counts_plan = Optimizer.plan_counts ~domains ~r ~s:r () in
-    print_endline ("counted variant: " ^ Optimizer.explain counts_plan)
+    print_explain ~domains r
   in
   Cmd.v
     (Cmd.info "explain"
@@ -291,6 +296,96 @@ let bsi_cmd =
       const run $ dataset $ input_file $ scale $ seed $ domains $ batch $ rate
       $ count $ combinatorial)
 
+let profile_cmd =
+  let what =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("join", `Join); ("star", `Star); ("ssj", `Ssj); ("scj", `Scj); ("bsi", `Bsi) ]))
+          None
+      & info [] ~docv:"WHAT"
+          ~doc:"Flow to profile: $(b,join), $(b,star), $(b,ssj), $(b,scj) or $(b,bsi).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the span events as Chrome-trace JSON (load in \
+             chrome://tracing or Perfetto).")
+  in
+  let run name input scale seed domains what trace_out =
+    let r = load_source name input scale seed in
+    (* The plan lines come from the same helper as [explain]; print them
+       before recording starts so the extra planning calls stay out of the
+       span tree. *)
+    (match what with
+    | `Star -> ()
+    | `Join | `Ssj | `Scj | `Bsi -> print_explain ~domains r);
+    Jp_obs.reset ();
+    Jp_obs.enable ();
+    let label, count, t =
+      Fun.protect ~finally:Jp_obs.disable (fun () ->
+          Jp_util.Timer.time (fun () ->
+              match what with
+              | `Join ->
+                Jp_relation.Pairs.count (Two_path.project ~domains ~r ~s:r ())
+              | `Star ->
+                Jp_relation.Tuples.count
+                  (Joinproj.Star.project ~domains (Array.make 3 r))
+              | `Ssj -> Jp_relation.Pairs.count (Jp_ssj.Mm_ssj.join ~domains ~c:2 r)
+              | `Scj -> Jp_relation.Pairs.count (Jp_scj.Mm_scj.join ~domains r)
+              | `Bsi ->
+                let n = Relation.src_count r in
+                let queries =
+                  Jp_workload.Generate.batch_queries ~seed ~count:4000 ~nx:n ~nz:n ()
+                in
+                let answers =
+                  Jp_bsi.Bsi.answer_batch ~domains ~r ~s:r queries
+                in
+                Array.fold_left (fun acc hit -> if hit then acc + 1 else acc) 0 answers)
+          |> fun (count, t) ->
+          let label =
+            match what with
+            | `Join -> "two-path join-project"
+            | `Star -> "star join (k=3)"
+            | `Ssj -> "ssj (c=2)"
+            | `Scj -> "set containment join"
+            | `Bsi -> "bsi batch (4000 queries)"
+          in
+          (label, count, t))
+    in
+    report label count t;
+    print_newline ();
+    print_string (Jp_obs.render_spans ());
+    print_newline ();
+    print_string (Jp_obs.render_counters ());
+    print_newline ();
+    print_string (Jp_obs.render_plans ());
+    match trace_out with
+    | None -> ()
+    | Some path -> (
+      match open_out path with
+      | oc ->
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Jp_obs.chrome_trace_string ()));
+        Printf.printf "wrote Chrome trace to %s\n" path
+      | exception Sys_error msg ->
+        Printf.eprintf "joinproj: cannot write Chrome trace: %s\n" msg;
+        exit 1)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a flow with Jp_obs recording enabled and print the span tree, \
+          the engine counters and the plan-vs-actual table.")
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ what $ trace_out)
+
 let query_cmd =
   let query_text =
     Arg.(
@@ -397,6 +492,7 @@ let () =
             ssj_cmd;
             scj_cmd;
             bsi_cmd;
+            profile_cmd;
             query_cmd;
             export_cmd;
             stats_cmd;

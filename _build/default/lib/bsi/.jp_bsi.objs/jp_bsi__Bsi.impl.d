@@ -1,1 +1,1 @@
-lib/bsi/bsi.ml: Array Joinproj Jp_relation Jp_util Jp_wcoj
+lib/bsi/bsi.ml: Array Joinproj Jp_obs Jp_relation Jp_util Jp_wcoj

@@ -8,23 +8,28 @@ let answer_one ~r ~s a b =
     Jp_util.Sorted.intersect_count (Relation.adj_src r a) (Relation.adj_src s b) > 0
 
 let answer_batch ?(domains = 1) ?(strategy = Mm) ~r ~s queries =
-  (* Filter both relations to the sets the batch mentions (Section 3.3's
-     "use the requests in the batch to filter R and S"). *)
-  let in_x = Array.make (Relation.src_count r) false in
-  let in_z = Array.make (Relation.src_count s) false in
-  Array.iter
-    (fun (a, b) ->
-      if a < Array.length in_x then in_x.(a) <- true;
-      if b < Array.length in_z then in_z.(b) <- true)
-    queries;
-  let rf = Relation.restrict_src r (fun a -> in_x.(a)) in
-  let sf = Relation.restrict_src s (fun b -> in_z.(b)) in
-  let pairs =
-    match strategy with
-    | Mm -> Joinproj.Two_path.project ~domains ~r:rf ~s:sf ()
-    | Combinatorial -> Jp_wcoj.Expand.project ~domains ~r:rf ~s:sf ()
-  in
-  Array.map (fun (a, b) -> Jp_relation.Pairs.mem pairs a b) queries
+  Jp_obs.span "bsi.answer_batch" (fun () ->
+      (* Filter both relations to the sets the batch mentions (Section 3.3's
+         "use the requests in the batch to filter R and S"). *)
+      let rf, sf =
+        Jp_obs.span "bsi.filter" (fun () ->
+            let in_x = Array.make (Relation.src_count r) false in
+            let in_z = Array.make (Relation.src_count s) false in
+            Array.iter
+              (fun (a, b) ->
+                if a < Array.length in_x then in_x.(a) <- true;
+                if b < Array.length in_z then in_z.(b) <- true)
+              queries;
+            ( Relation.restrict_src r (fun a -> in_x.(a)),
+              Relation.restrict_src s (fun b -> in_z.(b)) ))
+      in
+      let pairs =
+        match strategy with
+        | Mm -> Joinproj.Two_path.project ~domains ~r:rf ~s:sf ()
+        | Combinatorial -> Jp_wcoj.Expand.project ~domains ~r:rf ~s:sf ()
+      in
+      Jp_obs.span "bsi.probe" (fun () ->
+          Array.map (fun (a, b) -> Jp_relation.Pairs.mem pairs a b) queries))
 
 let optimal_batch_size ~n ~rate =
   if n < 1 || rate <= 0.0 then invalid_arg "Bsi.optimal_batch_size";
@@ -44,9 +49,7 @@ type stats = {
   units_needed : float;
 }
 
-let simulate ?(domains = 1) ?(strategy = Mm) ~r ~s ~queries ~rate ~batch_size () =
-  if batch_size < 1 then invalid_arg "Bsi.simulate: batch_size must be >= 1";
-  if rate <= 0.0 then invalid_arg "Bsi.simulate: rate must be positive";
+let simulate_impl ~domains ~strategy ~r ~s ~queries ~rate ~batch_size =
   let n = Array.length queries in
   let batches = (n + batch_size - 1) / batch_size in
   let total_delay = ref 0.0 and max_delay = ref 0.0 and total_proc = ref 0.0 in
@@ -78,3 +81,9 @@ let simulate ?(domains = 1) ?(strategy = Mm) ~r ~s ~queries ~rate ~batch_size ()
     avg_processing;
     units_needed = avg_processing /. period;
   }
+
+let simulate ?(domains = 1) ?(strategy = Mm) ~r ~s ~queries ~rate ~batch_size () =
+  if batch_size < 1 then invalid_arg "Bsi.simulate: batch_size must be >= 1";
+  if rate <= 0.0 then invalid_arg "Bsi.simulate: rate must be positive";
+  Jp_obs.span "bsi.simulate" (fun () ->
+      simulate_impl ~domains ~strategy ~r ~s ~queries ~rate ~batch_size)

@@ -1,1 +1,1 @@
-lib/core/optimizer.ml: Array Estimator Float Jp_matrix Jp_relation Printf
+lib/core/optimizer.ml: Array Estimator Float Jp_matrix Jp_obs Jp_relation Printf

@@ -1,1 +1,1 @@
-lib/core/partition.ml: Array Format Jp_relation Jp_util
+lib/core/partition.ml: Array Format Jp_obs Jp_relation Jp_util

@@ -1,1 +1,1 @@
-lib/core/star.ml: Array Hashtbl Jp_matrix Jp_relation Jp_util Jp_wcoj Seq
+lib/core/star.ml: Array Float Hashtbl Jp_matrix Jp_obs Jp_relation Jp_util Jp_wcoj List Printf Seq

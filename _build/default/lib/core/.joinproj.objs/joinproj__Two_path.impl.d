@@ -1,1 +1,1 @@
-lib/core/two_path.ml: Array Jp_matrix Jp_parallel Jp_relation Jp_util Jp_wcoj Optimizer Partition
+lib/core/two_path.ml: Array Jp_matrix Jp_obs Jp_parallel Jp_relation Jp_util Jp_wcoj List Optimizer Partition Stdlib

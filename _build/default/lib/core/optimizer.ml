@@ -135,15 +135,17 @@ let generic_plan ?machine ?(domains = 1) ~kind ?(wcoj_factor = 20) ~counts_mode
   end
 
 let plan ?machine ?domains ?(kind = Cost.Boolean) ?wcoj_factor ~r ~s () =
-  generic_plan ?machine ?domains ~kind ?wcoj_factor ~counts_mode:false
-    ~tie_d2:d2_for ~r ~s ()
+  Jp_obs.span "optimizer.plan" (fun () ->
+      generic_plan ?machine ?domains ~kind ?wcoj_factor ~counts_mode:false
+        ~tie_d2:d2_for ~r ~s ())
 
 let plan_counts ?machine ?domains ?wcoj_factor ~r ~s () =
   (* Only the join variable is partitioned: every x/z counts as light, so
      d2 is pinned to the maximal degree. *)
   let max_d2 idx ~est_out:_ _d1 = idx.n in
-  generic_plan ?machine ?domains ~kind:Cost.Count ?wcoj_factor ~counts_mode:true
-    ~tie_d2:max_d2 ~r ~s ()
+  Jp_obs.span "optimizer.plan_counts" (fun () ->
+      generic_plan ?machine ?domains ~kind:Cost.Count ?wcoj_factor ~counts_mode:true
+        ~tie_d2:max_d2 ~r ~s ())
 
 let theoretical_thresholds ~n ~out =
   if n < 1 || out < 1 then invalid_arg "Optimizer.theoretical_thresholds";
@@ -156,11 +158,11 @@ let theoretical_thresholds ~n ~out =
     (clamp d, clamp d)
   end
 
+let decision_to_string = function
+  | Wcoj -> "wcoj"
+  | Partitioned { d1; d2 } -> Printf.sprintf "mm(d1=%d,d2=%d)" d1 d2
+
 let explain p =
-  let head =
-    match p.decision with
-    | Wcoj -> "plan=wcoj"
-    | Partitioned { d1; d2 } -> Printf.sprintf "plan=mm(d1=%d,d2=%d)" d1 d2
-  in
-  Printf.sprintf "%s est_out=%d join_size=%d est=%.4fs" head p.est_out p.join_size
-    p.est_seconds
+  Printf.sprintf "plan=%s est_out=%d join_size=%d est=%.4fs"
+    (decision_to_string p.decision)
+    p.est_out p.join_size p.est_seconds

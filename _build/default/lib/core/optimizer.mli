@@ -65,5 +65,9 @@ val theoretical_thresholds : n:int -> out:int -> int * int
 
     Both are clamped to [1, N]. *)
 
+val decision_to_string : decision -> string
+(** ["wcoj"] or ["mm(d1=…,d2=…)"] — the rendering shared by {!explain}
+    and the observability layer's plan-vs-actual records. *)
+
 val explain : plan -> string
 (** One-line human-readable rendering for the CLI and the benches. *)

@@ -17,8 +17,7 @@ let index_of ~space ids =
   Array.iteri (fun i v -> idx.(v) <- i) ids;
   idx
 
-let make ~r ~s ~d1 ~d2 =
-  if d1 < 1 || d2 < 1 then invalid_arg "Partition.make: thresholds must be >= 1";
+let make_unspanned ~r ~s ~d1 ~d2 =
   let ny = max (Relation.dst_count r) (Relation.dst_count s) in
   let deg_ry y = if y < Relation.dst_count r then Relation.deg_dst r y else 0 in
   let deg_sy y = if y < Relation.dst_count s then Relation.deg_dst s y else 0 in
@@ -53,6 +52,10 @@ let make ~r ~s ~d1 ~d2 =
     y_index = index_of ~space:ny heavy_y;
     z_index = index_of ~space:(Relation.src_count s) heavy_z;
   }
+
+let make ~r ~s ~d1 ~d2 =
+  if d1 < 1 || d2 < 1 then invalid_arg "Partition.make: thresholds must be >= 1";
+  Jp_obs.span "partition.make" (fun () -> make_unspanned ~r ~s ~d1 ~d2)
 
 let is_light_y t y = y >= Array.length t.light_y || t.light_y.(y)
 

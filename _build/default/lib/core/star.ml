@@ -2,6 +2,7 @@ module Relation = Jp_relation.Relation
 module Tuples = Jp_relation.Tuples
 module Boolmat = Jp_matrix.Boolmat
 module Vec = Jp_util.Vec
+module Obs = Jp_obs
 
 type strategy = Matrix | Combinatorial
 
@@ -119,9 +120,22 @@ let heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k ~combo_cap =
       done
     end
 
-let project ?domains:_ ?(strategy = Matrix) ?thresholds rels =
+(* As in Two_path: wall-clock phases feeding the plan-vs-actual record,
+   measured only while recording. *)
+let phase phases name f =
+  if Obs.recording () then begin
+    let t0 = Jp_util.Timer.now () in
+    let x = f () in
+    phases := (name, Jp_util.Timer.now () -. t0) :: !phases;
+    x
+  end
+  else f ()
+
+let project_impl ~strategy ~thresholds rels =
   let k = Array.length rels in
   if k < 2 then invalid_arg "Star.project: arity must be >= 2";
+  let t_start = Jp_util.Timer.now () in
+  let phases = ref [] in
   let d1, d2 = match thresholds with Some t -> t | None -> choose_thresholds rels in
   let dims = Array.map Relation.src_count rels in
   let builder = Tuples.create_builder ~arity:k ~dims in
@@ -137,15 +151,19 @@ let project ?domains:_ ?(strategy = Matrix) ?thresholds rels =
     !ok
   in
   (* Step 1: light-x sub-joins. *)
-  for j = 0 to k - 1 do
-    Jp_wcoj.Star.iter_full
-      ~restrict:(j, fun c _ -> Relation.deg_src rels.(j) c <= d2)
-      rels add
-  done;
+  phase phases "light-x" (fun () ->
+      for j = 0 to k - 1 do
+        Jp_wcoj.Star.iter_full
+          ~restrict:(j, fun c _ -> Relation.deg_src rels.(j) c <= d2)
+          rels add
+      done);
   (* Step 2: light-y sub-joins. *)
-  for j = 0 to k - 1 do
-    Jp_wcoj.Star.iter_full ~restrict:(j, fun _ y -> light_in_all_others j y) rels add
-  done;
+  phase phases "light-y" (fun () ->
+      for j = 0 to k - 1 do
+        Jp_wcoj.Star.iter_full
+          ~restrict:(j, fun _ y -> light_in_all_others j y)
+          rels add
+      done);
   (* Step 3: the all-heavy residue.  R_i^+ keeps tuples with heavy x_i and
      y heavy in at least one other relation. *)
   let heavy_lists y =
@@ -159,12 +177,16 @@ let project ?domains:_ ?(strategy = Matrix) ?thresholds rels =
                (Array.to_seq (Relation.adj_dst r y))))
       rels
   in
-  let qualifying = Vec.create () in
-  for y = 0 to ny - 1 do
-    let lists = heavy_lists y in
-    if Array.for_all (fun l -> Array.length l > 0) lists then Vec.push qualifying y
-  done;
-  let qualifying_ys = Vec.to_array qualifying in
+  let qualifying_ys =
+    phase phases "qualify" (fun () ->
+        let qualifying = Vec.create () in
+        for y = 0 to ny - 1 do
+          let lists = heavy_lists y in
+          if Array.for_all (fun l -> Array.length l > 0) lists then
+            Vec.push qualifying y
+        done;
+        Vec.to_array qualifying)
+  in
   let combinatorial_heavy () =
     let tuple = Array.make k 0 in
     Array.iter
@@ -182,11 +204,28 @@ let project ?domains:_ ?(strategy = Matrix) ?thresholds rels =
         fill 0)
       qualifying_ys
   in
+  let heavy_path = ref "comb" in
   (match strategy with
-  | Combinatorial -> combinatorial_heavy ()
+  | Combinatorial ->
+    phase phases "heavy-comb" (fun () -> combinatorial_heavy ())
   | Matrix -> (
     try
-      heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k
-        ~combo_cap:5_000_000
-    with Matrix_overflow -> combinatorial_heavy ()));
-  Tuples.build builder
+      phase phases "heavy-mm" (fun () ->
+          Obs.span "star.heavy_mm" (fun () ->
+              heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k
+                ~combo_cap:5_000_000));
+      heavy_path := "mm"
+    with Matrix_overflow ->
+      phase phases "heavy-comb" (fun () -> combinatorial_heavy ())));
+  let result = phase phases "build" (fun () -> Tuples.build builder) in
+  if Obs.recording () then
+    Obs.record_plan ~label:"star"
+      ~decision:(Printf.sprintf "star-%s(d1=%d,d2=%d)" !heavy_path d1 d2)
+      ~est_out:(-1) ~join_size:(full_join_size rels) ~est_seconds:Float.nan
+      ~actual_out:(Tuples.count result)
+      ~actual_seconds:(Jp_util.Timer.now () -. t_start)
+      ~phases:(List.rev !phases);
+  result
+
+let project ?domains:_ ?(strategy = Matrix) ?thresholds rels =
+  Obs.span "star.project" (fun () -> project_impl ~strategy ~thresholds rels)

@@ -4,8 +4,22 @@ module Counted_pairs = Jp_relation.Counted_pairs
 module Boolmat = Jp_matrix.Boolmat
 module Intmat = Jp_matrix.Intmat
 module Vec = Jp_util.Vec
+module Obs = Jp_obs
 
 type strategy = Matrix | Combinatorial
+
+(* Measures one engine phase for the plan-vs-actual record; [f] may open
+   its own spans, so this deliberately does not open one.  Top-level (and
+   handed the accumulator explicitly) to stay polymorphic in the phase's
+   result type. *)
+let phase phases name f =
+  if Obs.recording () then begin
+    let t0 = Jp_util.Timer.now () in
+    let x = f () in
+    phases := (name, Jp_util.Timer.now () -. t0) :: !phases;
+    x
+  end
+  else f ()
 
 (* ------------------------------------------------------------------ *)
 (* Boolean (dedup-only) evaluation                                     *)
@@ -14,118 +28,160 @@ type strategy = Matrix | Combinatorial
 (* Heavy adjacency matrices of R+ and S+ (Section 3.1): rows/columns are
    the pruned heavy value lists of the partition. *)
 let heavy_matrices ~domains ~r ~s (p : Partition.t) =
-  let m1 =
-    Boolmat.create ~rows:(Array.length p.heavy_x) ~cols:(Array.length p.heavy_y)
-  in
-  Array.iteri
-    (fun i a ->
-      Array.iter
-        (fun b ->
-          let j = p.y_index.(b) in
-          if j >= 0 then Boolmat.set m1 i j)
-        (Relation.adj_src r a))
-    p.heavy_x;
-  let m2 =
-    Boolmat.create ~rows:(Array.length p.heavy_y) ~cols:(Array.length p.heavy_z)
-  in
-  Array.iteri
-    (fun j b ->
-      if b < Relation.dst_count s then
-        Array.iter
-          (fun c ->
-            let l = p.z_index.(c) in
-            if l >= 0 then Boolmat.set m2 j l)
-          (Relation.adj_dst s b))
-    p.heavy_y;
-  Boolmat.mul ~domains m1 m2
+  Obs.span "two_path.heavy_mm" (fun () ->
+      let m1 =
+        Boolmat.create ~rows:(Array.length p.heavy_x)
+          ~cols:(Array.length p.heavy_y)
+      in
+      Array.iteri
+        (fun i a ->
+          Array.iter
+            (fun b ->
+              let j = p.y_index.(b) in
+              if j >= 0 then Boolmat.set m1 i j)
+            (Relation.adj_src r a))
+        p.heavy_x;
+      let m2 =
+        Boolmat.create ~rows:(Array.length p.heavy_y)
+          ~cols:(Array.length p.heavy_z)
+      in
+      Array.iteri
+        (fun j b ->
+          if b < Relation.dst_count s then
+            Array.iter
+              (fun c ->
+                let l = p.z_index.(c) in
+                if l >= 0 then Boolmat.set m2 j l)
+              (Relation.adj_dst s b))
+        p.heavy_y;
+      Boolmat.mul ~domains m1 m2)
 
 (* The merged per-x loop: light contributions from R- |><| S and R |><| S-,
    heavy contributions from the matrix product (or from a heavy-restricted
    expansion for the combinatorial strategy), all deduplicated with one
    stamp vector. *)
-let partitioned_project ~domains ~strategy ~r ~s (p : Partition.t) =
+let partitioned_project ~phases ~domains ~strategy ~r ~s (p : Partition.t) =
   let product =
     match strategy with
-    | Matrix -> Some (heavy_matrices ~domains ~r ~s p)
+    | Matrix -> Some (phase phases "heavy-mm" (fun () -> heavy_matrices ~domains ~r ~s p))
     | Combinatorial -> None
   in
-  (* For heavy y values, pre-split S's inverted list into its light-z and
-     heavy-z halves once (O(N)); the per-x loop below would otherwise
-     rescan whole inverted lists just to filter them, degenerating to the
-     full join when few values are light. *)
-  let ny = max (Relation.dst_count r) (Relation.dst_count s) in
-  let s_light_of_heavy_y = Array.make ny [||] in
-  let s_heavy_of_heavy_y = Array.make ny [||] in
-  Array.iter
-    (fun b ->
-      if b < Relation.dst_count s then begin
-        let zs = Relation.adj_dst s b in
-        let light = Vec.create () and heavy = Vec.create () in
-        Array.iter
-          (fun c ->
-            if Relation.deg_src s c <= p.d2 then Vec.push light c else Vec.push heavy c)
-          zs;
-        s_light_of_heavy_y.(b) <- Vec.to_array light;
-        s_heavy_of_heavy_y.(b) <- Vec.to_array heavy
-      end)
-    p.heavy_y;
-  let nx = Relation.src_count r in
-  let rows = Array.make nx [||] in
-  let worker lo hi =
-    let stamps = Array.make (Relation.src_count s) (-1) in
-    let buf = Vec.create ~capacity:256 () in
-    for a = lo to hi - 1 do
-      let stamp = a in
-      Vec.clear buf;
-      let push c =
-        if Array.unsafe_get stamps c <> stamp then begin
-          Array.unsafe_set stamps c stamp;
-          Vec.push buf c
-        end
-      in
-      let a_light = Relation.deg_src r a <= p.d2 in
-      Array.iter
-        (fun b ->
-          if a_light || Partition.is_light_y p b then
-            Array.iter push (Relation.adj_dst s b)
-          else
-            (* heavy a, heavy b: only the S- tuples (light z) are joined
-               here; heavy z is the matrix part's job *)
-            Array.iter push s_light_of_heavy_y.(b))
-        (Relation.adj_src r a);
-      (match product with
-      | Some m ->
-        let i = p.x_index.(a) in
-        if i >= 0 then Boolmat.iter_row m i (fun l -> push p.heavy_z.(l))
-      | None ->
-        if not a_light then
+  phase phases "light-merge" (fun () ->
+      Obs.span "two_path.light_merge" (fun () ->
+          (* For heavy y values, pre-split S's inverted list into its
+             light-z and heavy-z halves once (O(N)); the per-x loop below
+             would otherwise rescan whole inverted lists just to filter
+             them, degenerating to the full join when few values are
+             light. *)
+          let ny = max (Relation.dst_count r) (Relation.dst_count s) in
+          let s_light_of_heavy_y = Array.make ny [||] in
+          let s_heavy_of_heavy_y = Array.make ny [||] in
           Array.iter
             (fun b ->
-              if not (Partition.is_light_y p b) then
-                Array.iter push s_heavy_of_heavy_y.(b))
-            (Relation.adj_src r a));
-      Vec.sort_dedup buf;
-      rows.(a) <- Vec.to_array buf
-    done
-  in
-  if domains <= 1 then worker 0 nx
-  else begin
-    let per = (nx + domains - 1) / domains in
-    Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0 ~hi:nx worker
-  end;
-  Pairs.of_rows_unchecked rows
+              if b < Relation.dst_count s then begin
+                let zs = Relation.adj_dst s b in
+                let light = Vec.create () and heavy = Vec.create () in
+                Array.iter
+                  (fun c ->
+                    if Relation.deg_src s c <= p.d2 then Vec.push light c
+                    else Vec.push heavy c)
+                  zs;
+                s_light_of_heavy_y.(b) <- Vec.to_array light;
+                s_heavy_of_heavy_y.(b) <- Vec.to_array heavy
+              end)
+            p.heavy_y;
+          let nx = Relation.src_count r in
+          let rows = Array.make nx [||] in
+          let worker lo hi =
+            let stamps = Array.make (Relation.src_count s) (-1) in
+            let buf = Vec.create ~capacity:256 () in
+            let obs = Obs.recording () in
+            let light_scans = ref 0 and presented = ref 0 and misses = ref 0 in
+            for a = lo to hi - 1 do
+              let stamp = a in
+              Vec.clear buf;
+              let push c =
+                if Array.unsafe_get stamps c <> stamp then begin
+                  Array.unsafe_set stamps c stamp;
+                  Vec.push buf c
+                end
+              in
+              let scan zs =
+                if obs then begin
+                  light_scans := !light_scans + Array.length zs;
+                  presented := !presented + Array.length zs
+                end;
+                Array.iter push zs
+              in
+              let a_light = Relation.deg_src r a <= p.d2 in
+              Array.iter
+                (fun b ->
+                  if a_light || Partition.is_light_y p b then
+                    scan (Relation.adj_dst s b)
+                  else
+                    (* heavy a, heavy b: only the S- tuples (light z) are
+                       joined here; heavy z is the matrix part's job *)
+                    scan s_light_of_heavy_y.(b))
+                (Relation.adj_src r a);
+              (match product with
+              | Some m ->
+                let i = p.x_index.(a) in
+                if i >= 0 then begin
+                  if obs then presented := !presented + Boolmat.row_nnz m i;
+                  Boolmat.iter_row m i (fun l -> push p.heavy_z.(l))
+                end
+              | None ->
+                if not a_light then
+                  Array.iter
+                    (fun b ->
+                      if not (Partition.is_light_y p b) then
+                        scan s_heavy_of_heavy_y.(b))
+                    (Relation.adj_src r a));
+              if obs then misses := !misses + Vec.length buf;
+              Vec.sort_dedup buf;
+              rows.(a) <- Vec.to_array buf
+            done;
+            if obs then begin
+              Obs.add Obs.C.light_probes !light_scans;
+              Obs.add Obs.C.stamp_misses !misses;
+              Obs.add Obs.C.stamp_hits (!presented - !misses)
+            end
+          in
+          if domains <= 1 then worker 0 nx
+          else begin
+            let per = (nx + domains - 1) / domains in
+            Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0
+              ~hi:nx worker
+          end;
+          Pairs.of_rows_unchecked rows))
 
 let project ?(domains = 1) ?(strategy = Matrix) ?plan ~r ~s () =
-  let plan =
-    match plan with
-    | Some p -> p
-    | None -> Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s ()
-  in
-  match plan.decision with
-  | Optimizer.Wcoj -> Jp_wcoj.Expand.project ~domains ~r ~s ()
-  | Optimizer.Partitioned { d1; d2 } ->
-    let p = Partition.make ~r ~s ~d1 ~d2 in
-    partitioned_project ~domains ~strategy ~r ~s p
+  Obs.span "two_path.project" (fun () ->
+      let t0 = Jp_util.Timer.now () in
+      let phases = ref [] in
+      let plan =
+        match plan with
+        | Some p -> p
+        | None ->
+          phase phases "plan" (fun () ->
+              Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s ())
+      in
+      let result =
+        match plan.decision with
+        | Optimizer.Wcoj ->
+          phase phases "wcoj" (fun () -> Jp_wcoj.Expand.project ~domains ~r ~s ())
+        | Optimizer.Partitioned { d1; d2 } ->
+          let p = phase phases "partition" (fun () -> Partition.make ~r ~s ~d1 ~d2) in
+          partitioned_project ~phases ~domains ~strategy ~r ~s p
+      in
+      if Obs.recording () then
+        Obs.record_plan ~label:"two_path"
+          ~decision:(Optimizer.decision_to_string plan.decision)
+          ~est_out:plan.est_out ~join_size:plan.join_size
+          ~est_seconds:plan.est_seconds ~actual_out:(Pairs.count result)
+          ~actual_seconds:(Jp_util.Timer.now () -. t0)
+          ~phases:(List.rev !phases);
+      result)
 
 let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ~r ~s () =
   let plan = Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s () in
@@ -138,7 +194,7 @@ let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ~r ~s () =
 (* A pair's witnesses can be split between light and heavy y values, so
    counts from the expansion and from the count-matrix product are summed
    per pair before freezing the row. *)
-let counted_partitioned ~domains ~r ~s ~d1 ~matrix ~cap =
+let counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix ~cap =
   let ny = max (Relation.dst_count r) (Relation.dst_count s) in
   let deg_ry y = if y < Relation.dst_count r then Relation.deg_dst r y else 0 in
   let deg_sy y = if y < Relation.dst_count s then Relation.deg_dst s y else 0 in
@@ -166,82 +222,119 @@ let counted_partitioned ~domains ~r ~s ~d1 ~matrix ~cap =
   Array.iteri (fun i a -> x_index.(a) <- i) hx;
   let product =
     if not use_matrix then None
-    else begin
-      (* The count product A·Bᵀ over bit-packed rows (62 multiply-adds per
-         word op): A rows are x's heavy-y bitsets, B rows are z's heavy-y
-         bitsets. *)
-      let y_index = Array.make ny (-1) in
-      Array.iteri (fun j b -> y_index.(b) <- j) heavy_y;
-      let heavy_row rel a =
-        let bits = Jp_util.Vec.create () in
-        Array.iter
-          (fun b ->
-            if b < ny then begin
-              let j = y_index.(b) in
-              if j >= 0 then Jp_util.Vec.push bits j
-            end)
-          (Relation.adj_src rel a);
-        Jp_util.Vec.to_array bits
-      in
-      let m1 = Boolmat.of_adjacency ~rows:u ~cols:v (fun i -> heavy_row r hx.(i)) in
-      let m2 = Boolmat.of_adjacency ~rows:w ~cols:v (fun l -> heavy_row s hz.(l)) in
-      Some (Boolmat.count_product ~domains m1 m2)
-    end
+    else
+      phase phases "heavy-count-mm" (fun () ->
+          (* The count product A·Bᵀ over bit-packed rows (62 multiply-adds
+             per word op): A rows are x's heavy-y bitsets, B rows are z's
+             heavy-y bitsets. *)
+          let y_index = Array.make ny (-1) in
+          Array.iteri (fun j b -> y_index.(b) <- j) heavy_y;
+          let heavy_row rel a =
+            let bits = Jp_util.Vec.create () in
+            Array.iter
+              (fun b ->
+                if b < ny then begin
+                  let j = y_index.(b) in
+                  if j >= 0 then Jp_util.Vec.push bits j
+                end)
+              (Relation.adj_src rel a);
+            Jp_util.Vec.to_array bits
+          in
+          let m1 = Boolmat.of_adjacency ~rows:u ~cols:v (fun i -> heavy_row r hx.(i)) in
+          let m2 = Boolmat.of_adjacency ~rows:w ~cols:v (fun l -> heavy_row s hz.(l)) in
+          Some (Boolmat.count_product ~domains m1 m2))
   in
   let treat_all_light = product = None in
   let nx = Relation.src_count r in
   let rows = Array.make nx ([||], [||]) in
-  let worker lo hi =
-    let nz = Relation.src_count s in
-    let stamps = Array.make nz (-1) in
-    let counts = Array.make nz 0 in
-    let buf = Vec.create ~capacity:256 () in
-    for a = lo to hi - 1 do
-      let stamp = a in
-      Vec.clear buf;
-      let bump c k =
-        if Array.unsafe_get stamps c <> stamp then begin
-          Array.unsafe_set stamps c stamp;
-          Array.unsafe_set counts c k;
-          Vec.push buf c
-        end
-        else Array.unsafe_set counts c (Array.unsafe_get counts c + k)
-      in
-      Array.iter
-        (fun b ->
-          if treat_all_light || light_y.(b) then
-            Array.iter (fun c -> bump c 1) (Relation.adj_dst s b))
-        (Relation.adj_src r a);
-      (match product with
-      | Some m ->
-        let i = x_index.(a) in
-        if i >= 0 then
-          Array.iteri
-            (fun l c ->
-              let k = Intmat.get m i l in
-              if k > 0 then bump c k)
-            hz
-      | None -> ());
-      Vec.sort_dedup buf;
-      let zs = Vec.to_array buf in
-      let cs = Array.map (fun c -> counts.(c)) zs in
-      rows.(a) <- (zs, cs)
-    done
-  in
-  if domains <= 1 then worker 0 nx
-  else begin
-    let per = (nx + domains - 1) / domains in
-    Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0 ~hi:nx worker
-  end;
-  Counted_pairs.of_rows_unchecked rows
+  phase phases "count-merge" (fun () ->
+      Obs.span "two_path.count_merge" (fun () ->
+          let worker lo hi =
+            let nz = Relation.src_count s in
+            let stamps = Array.make nz (-1) in
+            let counts = Array.make nz 0 in
+            let buf = Vec.create ~capacity:256 () in
+            let obs = Obs.recording () in
+            let light_scans = ref 0 and presented = ref 0 and misses = ref 0 in
+            for a = lo to hi - 1 do
+              let stamp = a in
+              Vec.clear buf;
+              let bump c k =
+                if Array.unsafe_get stamps c <> stamp then begin
+                  Array.unsafe_set stamps c stamp;
+                  Array.unsafe_set counts c k;
+                  Vec.push buf c
+                end
+                else Array.unsafe_set counts c (Array.unsafe_get counts c + k)
+              in
+              Array.iter
+                (fun b ->
+                  if treat_all_light || light_y.(b) then begin
+                    let zs = Relation.adj_dst s b in
+                    if obs then begin
+                      light_scans := !light_scans + Array.length zs;
+                      presented := !presented + Array.length zs
+                    end;
+                    Array.iter (fun c -> bump c 1) zs
+                  end)
+                (Relation.adj_src r a);
+              (match product with
+              | Some m ->
+                let i = x_index.(a) in
+                if i >= 0 then
+                  Array.iteri
+                    (fun l c ->
+                      let k = Intmat.get m i l in
+                      if k > 0 then begin
+                        if obs then Stdlib.incr presented;
+                        bump c k
+                      end)
+                    hz
+              | None -> ());
+              if obs then misses := !misses + Vec.length buf;
+              Vec.sort_dedup buf;
+              let zs = Vec.to_array buf in
+              let cs = Array.map (fun c -> counts.(c)) zs in
+              rows.(a) <- (zs, cs)
+            done;
+            if obs then begin
+              Obs.add Obs.C.light_probes !light_scans;
+              Obs.add Obs.C.stamp_misses !misses;
+              Obs.add Obs.C.stamp_hits (!presented - !misses)
+            end
+          in
+          if domains <= 1 then worker 0 nx
+          else begin
+            let per = (nx + domains - 1) / domains in
+            Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0
+              ~hi:nx worker
+          end;
+          Counted_pairs.of_rows_unchecked rows))
 
 let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan
     ?(matrix_cell_cap = 200_000_000) ~r ~s () =
-  let plan =
-    match plan with Some p -> p | None -> Optimizer.plan_counts ~domains ~r ~s ()
-  in
-  match (plan.decision, strategy) with
-  | Optimizer.Wcoj, _ | _, Combinatorial ->
-    Jp_wcoj.Expand.project_counts ~domains ~r ~s ()
-  | Optimizer.Partitioned { d1; d2 = _ }, Matrix ->
-    counted_partitioned ~domains ~r ~s ~d1 ~matrix:true ~cap:matrix_cell_cap
+  Obs.span "two_path.project_counts" (fun () ->
+      let t0 = Jp_util.Timer.now () in
+      let phases = ref [] in
+      let plan =
+        match plan with
+        | Some p -> p
+        | None -> phase phases "plan" (fun () -> Optimizer.plan_counts ~domains ~r ~s ())
+      in
+      let result =
+        match (plan.decision, strategy) with
+        | Optimizer.Wcoj, _ | _, Combinatorial ->
+          phase phases "wcoj" (fun () -> Jp_wcoj.Expand.project_counts ~domains ~r ~s ())
+        | Optimizer.Partitioned { d1; d2 = _ }, Matrix ->
+          counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix:true
+            ~cap:matrix_cell_cap
+      in
+      if Obs.recording () then
+        Obs.record_plan ~label:"two_path.counts"
+          ~decision:(Optimizer.decision_to_string plan.decision)
+          ~est_out:plan.est_out ~join_size:plan.join_size
+          ~est_seconds:plan.est_seconds
+          ~actual_out:(Counted_pairs.count result)
+          ~actual_seconds:(Jp_util.Timer.now () -. t0)
+          ~phases:(List.rev !phases);
+      result)

@@ -1,1 +1,1 @@
-lib/matrix/boolmat.ml: Array Intmat Jp_parallel Jp_util
+lib/matrix/boolmat.ml: Array Intmat Jp_obs Jp_parallel Jp_util Stdlib

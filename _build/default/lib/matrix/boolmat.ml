@@ -22,36 +22,55 @@ let of_adjacency ~rows ~cols adj =
 
 let mul ?(domains = 1) a b =
   if a.cols <> Array.length b.data then invalid_arg "Boolmat.mul: dimension mismatch";
-  let c = create ~rows:(rows a) ~cols:b.cols in
-  let do_row i =
-    let acc = c.data.(i) in
-    Bitset.iter (fun k -> Bitset.union_into ~dst:acc b.data.(k)) a.data.(i)
-  in
-  if domains <= 1 then
-    for i = 0 to rows a - 1 do
-      do_row i
-    done
-  else Jp_parallel.Pool.parallel_for ~domains ~lo:0 ~hi:(rows a) do_row;
-  c
+  Jp_obs.span "matrix.bool_mul" (fun () ->
+      let c = create ~rows:(rows a) ~cols:b.cols in
+      let words_per_row =
+        if Array.length b.data = 0 then 0 else Bitset.word_count b.data.(0)
+      in
+      let obs = Jp_obs.recording () in
+      let do_row i =
+        let acc = c.data.(i) in
+        if obs then begin
+          let unions = ref 0 in
+          Bitset.iter
+            (fun k ->
+              Stdlib.incr unions;
+              Bitset.union_into ~dst:acc b.data.(k))
+            a.data.(i);
+          Jp_obs.add Jp_obs.C.mm_bool_word_ops (!unions * words_per_row)
+        end
+        else Bitset.iter (fun k -> Bitset.union_into ~dst:acc b.data.(k)) a.data.(i)
+      in
+      if domains <= 1 then
+        for i = 0 to rows a - 1 do
+          do_row i
+        done
+      else Jp_parallel.Pool.parallel_for ~domains ~lo:0 ~hi:(rows a) do_row;
+      c)
 
 let count_product ?(domains = 1) a b =
   if a.cols <> b.cols then invalid_arg "Boolmat.count_product: inner dim mismatch";
-  let u = rows a and w = rows b in
-  let c = Intmat.create ~rows:u ~cols:w in
-  let do_row i =
-    let arow = a.data.(i) in
-    if not (Bitset.is_empty arow) then
-      for l = 0 to w - 1 do
-        let k = Bitset.inter_count arow b.data.(l) in
-        if k > 0 then Intmat.set c i l k
-      done
-  in
-  if domains <= 1 then
-    for i = 0 to u - 1 do
-      do_row i
-    done
-  else Jp_parallel.Pool.parallel_for ~domains ~lo:0 ~hi:u do_row;
-  c
+  Jp_obs.span "matrix.count_product" (fun () ->
+      let u = rows a and w = rows b in
+      let c = Intmat.create ~rows:u ~cols:w in
+      let obs = Jp_obs.recording () in
+      let do_row i =
+        let arow = a.data.(i) in
+        if not (Bitset.is_empty arow) then begin
+          if obs then
+            Jp_obs.add Jp_obs.C.mm_count_word_ops (w * Bitset.word_count arow);
+          for l = 0 to w - 1 do
+            let k = Bitset.inter_count arow b.data.(l) in
+            if k > 0 then Intmat.set c i l k
+          done
+        end
+      in
+      if domains <= 1 then
+        for i = 0 to u - 1 do
+          do_row i
+        done
+      else Jp_parallel.Pool.parallel_for ~domains ~lo:0 ~hi:u do_row;
+      c)
 
 let row_nnz m i = Bitset.count m.data.(i)
 

@@ -1,0 +1,1 @@
+lib/obs/jp_obs.ml: Atomic Domain Float Jp_util Json List Mutex Printf String

@@ -1,0 +1,1 @@
+lib/obs/jp_obs.mli: Json

@@ -1,0 +1,338 @@
+module Json = Json
+module Hook = Jp_util.Obs_hook
+module Timer = Jp_util.Timer
+module Tablefmt = Jp_util.Tablefmt
+
+(* ------------------------------------------------------------------ *)
+(* global switch                                                       *)
+
+let on = ref false
+
+let recording () = !on
+
+let enable () =
+  on := true;
+  Hook.enabled := true
+
+let disable () =
+  on := false;
+  Hook.enabled := false
+
+(* ------------------------------------------------------------------ *)
+(* counters                                                            *)
+
+type counter = { cname : string; cell : int Atomic.t }
+
+let registry_lock = Mutex.create ()
+
+let registry : counter list ref = ref []
+
+let counter name =
+  Mutex.lock registry_lock;
+  let c =
+    match List.find_opt (fun c -> c.cname = name) !registry with
+    | Some c -> c
+    | None ->
+      let c = { cname = name; cell = Atomic.make 0 } in
+      registry := c :: !registry;
+      c
+  in
+  Mutex.unlock registry_lock;
+  c
+
+let add c n = if !on then ignore (Atomic.fetch_and_add c.cell n)
+
+let incr c = add c 1
+
+let value c = Atomic.get c.cell
+
+module C = struct
+  let mm_bool_word_ops = counter "mm.bool_word_ops"
+
+  let mm_count_word_ops = counter "mm.count_word_ops"
+
+  let stamp_hits = counter "dedup.stamp_hits"
+
+  let stamp_misses = counter "dedup.stamp_misses"
+
+  let light_probes = counter "light.probes"
+
+  let pool_tasks = counter "pool.tasks"
+
+  let pool_spawns = counter "pool.domain_spawns"
+end
+
+let counter_values () =
+  Mutex.lock registry_lock;
+  let own = List.map (fun c -> (c.cname, Atomic.get c.cell)) !registry in
+  Mutex.unlock registry_lock;
+  List.sort compare (("sort.radix_bytes", Atomic.get Hook.radix_bytes) :: own)
+
+let render_counters () =
+  let rows =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some [ name; Tablefmt.big_int v ])
+      (counter_values ())
+  in
+  match rows with
+  | [] -> "(all counters zero)\n"
+  | rows -> Tablefmt.render ~header:[ "counter"; "value" ] ~rows
+
+(* ------------------------------------------------------------------ *)
+(* spans                                                               *)
+
+type event = {
+  tid : int;
+  path : string list; (* innermost first *)
+  t0 : float;
+  t1 : float;
+}
+
+let events_lock = Mutex.create ()
+
+let events : event list ref = ref []
+
+(* Each domain keeps its own stack of open span names, so worker-domain
+   spans nest under their own roots instead of racing on a global. *)
+let stack_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+let timed_span name f =
+  if not !on then (f (), 0.0)
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let path = name :: !stack in
+    stack := path;
+    let t0 = Timer.now () in
+    let finish () =
+      let t1 = Timer.now () in
+      stack := (match !stack with _ :: tl -> tl | [] -> []);
+      Mutex.lock events_lock;
+      events := { tid = (Domain.self () :> int); path; t0; t1 } :: !events;
+      Mutex.unlock events_lock;
+      t1 -. t0
+    in
+    match f () with
+    | x ->
+      let dt = finish () in
+      (x, dt)
+    | exception e ->
+      ignore (finish ());
+      raise e
+  end
+
+let span name f = fst (timed_span name f)
+
+let span_events () =
+  Mutex.lock events_lock;
+  let evs = !events in
+  Mutex.unlock events_lock;
+  List.sort (fun a b -> compare (a.t0, a.t1) (b.t0, b.t1)) evs
+
+(* Aggregated view: events sharing a call path collapse into one node
+   (summed time, call count); children keep first-call order. *)
+type span_node = {
+  name : string;
+  calls : int;
+  seconds : float;
+  children : span_node list;
+}
+
+type mutable_node = {
+  mutable m_calls : int;
+  mutable m_seconds : float;
+  mutable m_children : (string * mutable_node) list; (* reversed *)
+}
+
+let span_tree () =
+  let root = { m_calls = 0; m_seconds = 0.0; m_children = [] } in
+  let node_for parent name =
+    match List.assoc_opt name parent.m_children with
+    | Some n -> n
+    | None ->
+      let n = { m_calls = 0; m_seconds = 0.0; m_children = [] } in
+      parent.m_children <- (name, n) :: parent.m_children;
+      n
+  in
+  List.iter
+    (fun ev ->
+      let node =
+        List.fold_left (fun parent name -> node_for parent name) root
+          (List.rev ev.path)
+      in
+      node.m_calls <- node.m_calls + 1;
+      node.m_seconds <- node.m_seconds +. (ev.t1 -. ev.t0))
+    (span_events ());
+  let rec freeze m =
+    List.rev_map
+      (fun (name, n) ->
+        { name; calls = n.m_calls; seconds = n.m_seconds; children = freeze n })
+      m.m_children
+  in
+  freeze root
+
+let render_spans () =
+  let rows = ref [] in
+  let rec walk depth node =
+    let child_total =
+      List.fold_left (fun acc c -> acc +. c.seconds) 0.0 node.children
+    in
+    let self = Float.max 0.0 (node.seconds -. child_total) in
+    rows :=
+      [
+        String.make (2 * depth) ' ' ^ node.name;
+        string_of_int node.calls;
+        Tablefmt.seconds node.seconds;
+        Tablefmt.seconds self;
+      ]
+      :: !rows;
+    List.iter (walk (depth + 1)) node.children
+  in
+  let tree = span_tree () in
+  List.iter (walk 0) tree;
+  match tree with
+  | [] -> "(no spans recorded)\n"
+  | _ ->
+    Tablefmt.render
+      ~header:[ "span"; "calls"; "total"; "self" ]
+      ~rows:(List.rev !rows)
+
+let chrome_trace () =
+  let evs = span_events () in
+  let base = match evs with [] -> 0.0 | ev :: _ -> ev.t0 in
+  let trace_events =
+    List.map
+      (fun ev ->
+        Json.Obj
+          [
+            ("name", Json.String (List.hd ev.path));
+            ("cat", Json.String "joinproj");
+            ("ph", Json.String "X");
+            ("ts", Json.Float ((ev.t0 -. base) *. 1e6));
+            ("dur", Json.Float ((ev.t1 -. ev.t0) *. 1e6));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int ev.tid);
+          ])
+      evs
+  in
+  let counter_args =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+      (counter_values ())
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List trace_events);
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", Json.Obj [ ("counters", Json.Obj counter_args) ]);
+    ]
+
+let chrome_trace_string () = Json.to_string (chrome_trace ())
+
+(* ------------------------------------------------------------------ *)
+(* plan vs actual                                                      *)
+
+type plan_actual = {
+  label : string;
+  decision : string;
+  est_out : int;
+  join_size : int;
+  est_seconds : float;
+  actual_out : int;
+  actual_seconds : float;
+  phases : (string * float) list;
+}
+
+let plans_lock = Mutex.create ()
+
+let plans : plan_actual list ref = ref []
+
+let record_plan ~label ~decision ~est_out ~join_size ~est_seconds ~actual_out
+    ~actual_seconds ~phases =
+  if !on then begin
+    let p =
+      {
+        label;
+        decision;
+        est_out;
+        join_size;
+        est_seconds;
+        actual_out;
+        actual_seconds;
+        phases;
+      }
+    in
+    Mutex.lock plans_lock;
+    plans := p :: !plans;
+    Mutex.unlock plans_lock
+  end
+
+let plan_records () =
+  Mutex.lock plans_lock;
+  let ps = List.rev !plans in
+  Mutex.unlock plans_lock;
+  ps
+
+let ratio actual est =
+  if Float.is_nan est || est <= 0.0 then "-"
+  else Printf.sprintf "x%.2f" (actual /. est)
+
+let opt_int n = if n < 0 then "-" else Tablefmt.big_int n
+
+let opt_seconds s = if Float.is_nan s || s < 0.0 then "-" else Tablefmt.seconds s
+
+let render_plans () =
+  match plan_records () with
+  | [] -> "(no plans recorded)\n"
+  | records ->
+    let rows =
+      List.map
+        (fun p ->
+          let phases =
+            String.concat "; "
+              (List.map
+                 (fun (name, dt) ->
+                   Printf.sprintf "%s %s" name (Tablefmt.seconds dt))
+                 p.phases)
+          in
+          [
+            p.label;
+            p.decision;
+            opt_int p.est_out;
+            opt_int p.actual_out;
+            ratio (float_of_int p.actual_out) (float_of_int p.est_out);
+            opt_seconds p.est_seconds;
+            opt_seconds p.actual_seconds;
+            ratio p.actual_seconds p.est_seconds;
+            phases;
+          ])
+        records
+    in
+    Tablefmt.render
+      ~header:
+        [
+          "label";
+          "plan";
+          "est_out";
+          "|OUT|";
+          "out err";
+          "est";
+          "actual";
+          "t err";
+          "phases";
+        ]
+      ~rows
+
+(* ------------------------------------------------------------------ *)
+(* reset                                                               *)
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter (fun c -> Atomic.set c.cell 0) !registry;
+  Mutex.unlock registry_lock;
+  Hook.reset ();
+  Mutex.lock events_lock;
+  events := [];
+  Mutex.unlock events_lock;
+  Mutex.lock plans_lock;
+  plans := [];
+  Mutex.unlock plans_lock

@@ -1,0 +1,150 @@
+(** Observability substrate: wall-clock spans, process-global counters and
+    plan-vs-actual records, shared by every join engine.
+
+    Everything here is a no-op unless {!enable} has been called: [span]
+    runs its thunk directly, counter bumps compile to one flag check, and
+    nothing is allocated or locked.  That keeps the instrumentation safe
+    to leave in hot paths (the bench acceptance bound is < 2% overhead
+    with observation off).
+
+    Concurrency: spans keep a per-domain stack (worker-domain spans nest
+    under their own roots), counters are atomic ints so worker chunks can
+    publish exactly, and the event/plan sinks are mutex-protected.  All
+    recorded values are deterministic for a fixed seed and input — only
+    timestamps vary between runs. *)
+
+module Json : module type of Json
+
+(** {1 Global switch} *)
+
+val enable : unit -> unit
+(** Turn recording on (spans, counters, plan records). *)
+
+val disable : unit -> unit
+(** Turn recording off.  Recorded data is kept until {!reset}. *)
+
+val recording : unit -> bool
+(** True between {!enable} and {!disable}.  Hot loops read this once per
+    chunk and accumulate locally when it is set. *)
+
+val reset : unit -> unit
+(** Clear spans and plan records, zero every counter (including the
+    [jp_util] hook counters). *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f], recording one wall-clock event nested under
+    the calling domain's innermost open span.  Exceptions propagate after
+    the span is closed. *)
+
+val timed_span : string -> (unit -> 'a) -> 'a * float
+(** Like {!span} but also returns elapsed seconds ([0.] when disabled) —
+    used by engines to fill the [phases] of a plan-vs-actual record
+    without timing twice. *)
+
+type span_node = {
+  name : string;
+  calls : int;  (** events merged into this node *)
+  seconds : float;  (** summed wall time across those calls *)
+  children : span_node list;  (** in first-call order *)
+}
+(** Aggregated span tree: events sharing a call path collapse into one
+    node. *)
+
+val span_tree : unit -> span_node list
+
+val render_spans : unit -> string
+(** Plain-text tree (indented {!Jp_util.Tablefmt} table) with per-node
+    total and self time. *)
+
+val chrome_trace : unit -> Json.t
+(** Chrome-trace ("trace event format") document: one complete ["X"]
+    event per span with microsecond [ts]/[dur] relative to the first
+    event, [tid] = recording domain; nonzero counters ride along under
+    [otherData.counters].  Load the result in [chrome://tracing] or
+    Perfetto. *)
+
+val chrome_trace_string : unit -> string
+
+(** {1 Counters} *)
+
+type counter
+(** A named process-global tally.  Morally a plain [int ref]; atomic so
+    that parallel workers publishing per-chunk subtotals cannot lose
+    updates.  Bumps are dropped while recording is off. *)
+
+val counter : string -> counter
+(** Find-or-create by name (names are unique; reuse returns the same
+    cell). *)
+
+val add : counter -> int -> unit
+
+val incr : counter -> unit
+
+val value : counter -> int
+
+val counter_values : unit -> (string * int) list
+(** Every registered counter (plus the [jp_util] hook counters, e.g.
+    ["sort.radix_bytes"]), sorted by name. *)
+
+val render_counters : unit -> string
+(** Table of the nonzero counters. *)
+
+(** The process-wide counters maintained by the instrumented engines. *)
+module C : sig
+  val mm_bool_word_ops : counter
+  (** 62-bit word ORs performed by {!Jp_matrix.Boolmat.mul}. *)
+
+  val mm_count_word_ops : counter
+  (** 62-bit AND+popcount words in {!Jp_matrix.Boolmat.count_product}. *)
+
+  val stamp_hits : counter
+  (** Stamp-vector probes that found the stamp already set (dedup hits). *)
+
+  val stamp_misses : counter
+  (** Stamp-vector probes that claimed a fresh value (distinct results). *)
+
+  val light_probes : counter
+  (** Candidate tuples scanned by the combinatorial (light/WCOJ) loops. *)
+
+  val pool_tasks : counter
+  (** Chunks executed by {!Jp_parallel.Pool} work loops. *)
+
+  val pool_spawns : counter
+  (** Domains spawned by {!Jp_parallel.Pool.run_workers}. *)
+end
+
+(** {1 Plan vs actual} *)
+
+type plan_actual = {
+  label : string;  (** engine entry point, e.g. ["two_path"] *)
+  decision : string;  (** rendered optimizer decision *)
+  est_out : int;  (** estimated |OUT|; negative = not estimated *)
+  join_size : int;  (** exact full-join size |OUT⋈| *)
+  est_seconds : float;  (** optimizer cost estimate; [nan] = none *)
+  actual_out : int;  (** measured |OUT| *)
+  actual_seconds : float;  (** measured wall seconds *)
+  phases : (string * float) list;  (** per-phase seconds, from spans *)
+}
+(** One engine invocation: what {!Joinproj.Optimizer.plan} predicted next
+    to what actually happened — the feedback loop the cost model needs. *)
+
+val record_plan :
+  label:string ->
+  decision:string ->
+  est_out:int ->
+  join_size:int ->
+  est_seconds:float ->
+  actual_out:int ->
+  actual_seconds:float ->
+  phases:(string * float) list ->
+  unit
+(** Append a record (dropped while recording is off). *)
+
+val plan_records : unit -> plan_actual list
+(** In recording order. *)
+
+val render_plans : unit -> string
+(** Plan-vs-actual table: estimated vs measured output size and seconds
+    with error ratios, plus the per-phase breakdown. *)

@@ -1,1 +1,1 @@
-lib/parallel/pool.ml: Atomic Domain List Printexc
+lib/parallel/pool.ml: Atomic Domain Jp_obs List Printexc

@@ -9,6 +9,7 @@ let default_chunk ~domains ~lo ~hi =
 let run_workers ~domains worker =
   if domains <= 1 then worker ()
   else begin
+    Jp_obs.add Jp_obs.C.pool_spawns (domains - 1);
     let failure = Atomic.make None in
     let guarded () =
       try worker ()
@@ -26,7 +27,10 @@ let run_workers ~domains worker =
 
 let parallel_for_ranges ~domains ?chunk ~lo ~hi body =
   if hi > lo then
-    if domains <= 1 then body lo hi
+    if domains <= 1 then begin
+      Jp_obs.incr Jp_obs.C.pool_tasks;
+      body lo hi
+    end
     else begin
       let chunk =
         match chunk with Some c when c > 0 -> c | _ -> default_chunk ~domains ~lo ~hi
@@ -37,7 +41,10 @@ let parallel_for_ranges ~domains ?chunk ~lo ~hi body =
         while !continue do
           let start = Atomic.fetch_and_add next chunk in
           if start >= hi then continue := false
-          else body start (min hi (start + chunk))
+          else begin
+            Jp_obs.incr Jp_obs.C.pool_tasks;
+            body start (min hi (start + chunk))
+          end
         done
       in
       run_workers ~domains worker
@@ -69,10 +76,12 @@ let map_reduce ~domains ?chunk ~lo ~hi ~combine ~init map =
       while !continue do
         let start = Atomic.fetch_and_add next chunk in
         if start >= hi then continue := false
-        else
+        else begin
+          Jp_obs.incr Jp_obs.C.pool_tasks;
           for i = start to min hi (start + chunk) - 1 do
             local := combine !local (map i)
           done
+        end
       done;
       (* lock-free push of the local result *)
       let rec push () =

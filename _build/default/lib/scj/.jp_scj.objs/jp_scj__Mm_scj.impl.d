@@ -1,1 +1,1 @@
-lib/scj/mm_scj.ml: Array Joinproj Jp_relation Jp_util Scj_common
+lib/scj/mm_scj.ml: Array Joinproj Jp_obs Jp_relation Jp_util Scj_common

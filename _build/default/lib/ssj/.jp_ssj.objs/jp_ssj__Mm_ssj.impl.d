@@ -1,1 +1,1 @@
-lib/ssj/mm_ssj.ml: Common Joinproj Jp_relation
+lib/ssj/mm_ssj.ml: Common Joinproj Jp_obs Jp_relation

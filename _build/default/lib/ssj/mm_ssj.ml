@@ -2,8 +2,12 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Counted_pairs = Jp_relation.Counted_pairs
 
-let join_counted ?(domains = 1) r = Joinproj.Two_path.project_counts ~domains ~r ~s:r ()
+let join_counted ?(domains = 1) r =
+  Jp_obs.span "ssj.mm_counted" (fun () ->
+      Joinproj.Two_path.project_counts ~domains ~r ~s:r ())
 
 let join ?(domains = 1) ~c r =
   if c < 1 then invalid_arg "Mm_ssj.join: c must be >= 1";
-  Common.upper_pairs (join_counted ~domains r) ~c
+  Jp_obs.span "ssj.mm_join" (fun () ->
+      let counted = join_counted ~domains r in
+      Jp_obs.span "ssj.threshold" (fun () -> Common.upper_pairs counted ~c))

@@ -1,1 +1,1 @@
-lib/util/intsort.ml: Array
+lib/util/intsort.ml: Array Obs_hook

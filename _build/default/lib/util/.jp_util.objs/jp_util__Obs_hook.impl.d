@@ -1,0 +1,1 @@
+lib/util/obs_hook.ml: Atomic

@@ -6,6 +6,8 @@ type t = { words : int array; width : int }
 
 let width t = t.width
 
+let word_count t = Array.length t.words
+
 let create n =
   if n < 0 then invalid_arg "Bitset.create";
   { words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0; width = n }

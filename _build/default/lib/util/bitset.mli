@@ -11,6 +11,11 @@ type t
 val width : t -> int
 (** Number of addressable bit positions. *)
 
+val word_count : t -> int
+(** Number of backing words; the unit in which per-word operations
+    ([union_into], [inter_count], ...) are counted by the observability
+    layer's MM word-op counters. *)
+
 val create : int -> t
 (** [create n] is an all-zeros bitset of width [n]. *)
 

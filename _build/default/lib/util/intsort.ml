@@ -15,6 +15,8 @@ let insertion a lo hi =
    ~5 operations per element — far cheaper than comparison sorting. *)
 let radix a lo hi max_v =
   let n = hi - lo in
+  (let rec passes acc v = if v = 0 then acc else passes (acc + 1) (v lsr 8) in
+   Obs_hook.note_radix ~elems:n ~passes:(passes 0 max_v));
   let tmp = Array.make n 0 in
   let count = Array.make 257 0 in
   (* work in [cur] which is either a (offset lo) or tmp (offset 0) *)

@@ -1,0 +1,21 @@
+(** Low-level observability hooks for [jp_util] internals.
+
+    [jp_obs] (the observability library) depends on [jp_util], so counters
+    maintained {e inside} [jp_util] itself — currently the radix-sort byte
+    count — live here and are re-exported by [Jp_obs] under its counter
+    namespace.  Do not use this module directly from engine code; go
+    through [Jp_obs] instead. *)
+
+val enabled : bool ref
+(** Mirror of [Jp_obs.recording]; toggled by [Jp_obs.enable]/[disable].
+    All hooks are no-ops while it is [false]. *)
+
+val radix_bytes : int Atomic.t
+(** Bytes moved by {!Intsort}'s radix passes (8 bytes per element per
+    pass).  Atomic so worker domains can publish without losing updates. *)
+
+val note_radix : elems:int -> passes:int -> unit
+(** Called by {!Intsort.sort_sub} once per radix invocation. *)
+
+val reset : unit -> unit
+(** Zero every hook counter (called by [Jp_obs.reset]). *)

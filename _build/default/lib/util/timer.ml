@@ -8,15 +8,13 @@ let time f =
 
 let time_median ?(repeats = 3) f =
   if repeats < 1 then invalid_arg "Timer.time_median";
-  let result = ref None in
-  let times =
-    List.init repeats (fun _ ->
+  let runs =
+    List.init repeats (fun i ->
         let x, dt = time f in
-        result := Some x;
-        dt)
+        (dt, i, x))
   in
-  let sorted = List.sort compare times in
-  let median = List.nth sorted (repeats / 2) in
-  match !result with
-  | Some x -> (x, median)
-  | None -> assert false
+  (* Sort by (elapsed, run index): equal times resolve to the earlier run,
+     and the returned value comes from the same run as the returned time. *)
+  let sorted = List.sort (fun (a, i, _) (b, j, _) -> compare (a, i) (b, j)) runs in
+  let dt, _, x = List.nth sorted (repeats / 2) in
+  (x, dt)

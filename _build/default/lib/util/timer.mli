@@ -9,5 +9,10 @@ val time : (unit -> 'a) -> 'a * float
 
 val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
 (** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
-    returns the last result with the median elapsed time; mirrors the
-    paper's "average of middle runs" methodology. *)
+    returns the result {e and} elapsed time of the median-timed run;
+    mirrors the paper's "average of middle runs" methodology.
+
+    The median run is the one ranked [repeats / 2] (0-based) when runs are
+    ordered by elapsed time — the true middle for odd [repeats], the upper
+    middle for even.  Ties on elapsed time are broken toward the earlier
+    run.  Raises [Invalid_argument] when [repeats < 1]. *)

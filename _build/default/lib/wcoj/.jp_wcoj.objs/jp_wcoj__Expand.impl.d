@@ -1,1 +1,1 @@
-lib/wcoj/expand.ml: Array Jp_parallel Jp_relation Jp_util
+lib/wcoj/expand.ml: Array Jp_obs Jp_parallel Jp_relation Jp_util

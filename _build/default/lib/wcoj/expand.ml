@@ -10,37 +10,52 @@ let all_xs r = Array.init (Relation.src_count r) (fun i -> i)
 let expand_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi =
   let stamps = Array.make (Relation.src_count s) (-1) in
   let buf = Jp_util.Vec.create ~capacity:256 () in
+  let obs = Jp_obs.recording () in
+  let probes = ref 0 and misses = ref 0 in
   for idx = lo to hi - 1 do
     let a = xs.(idx) in
     Jp_util.Vec.clear buf;
     let stamp = idx in
     Array.iter
       (fun b ->
-        if keep_y b then
+        if keep_y b then begin
+          let zs = Relation.adj_dst s b in
+          if obs then probes := !probes + Array.length zs;
           Array.iter
             (fun c ->
               if keep_zy c b && Array.unsafe_get stamps c <> stamp then begin
                 Array.unsafe_set stamps c stamp;
                 Jp_util.Vec.push buf c
               end)
-            (Relation.adj_dst s b))
+            zs
+        end)
       (Relation.adj_src r a);
+    if obs then misses := !misses + Jp_util.Vec.length buf;
     Jp_util.Vec.sort_dedup buf;
     rows.(a) <- Jp_util.Vec.to_array buf
-  done
+  done;
+  if obs then begin
+    Jp_obs.add Jp_obs.C.light_probes !probes;
+    Jp_obs.add Jp_obs.C.stamp_misses !misses;
+    Jp_obs.add Jp_obs.C.stamp_hits (!probes - !misses)
+  end
 
 let expand_counts_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi =
   let nz = Relation.src_count s in
   let stamps = Array.make nz (-1) in
   let counts = Array.make nz 0 in
   let buf = Jp_util.Vec.create ~capacity:256 () in
+  let obs = Jp_obs.recording () in
+  let probes = ref 0 and misses = ref 0 in
   for idx = lo to hi - 1 do
     let a = xs.(idx) in
     Jp_util.Vec.clear buf;
     let stamp = idx in
     Array.iter
       (fun b ->
-        if keep_y b then
+        if keep_y b then begin
+          let zs = Relation.adj_dst s b in
+          if obs then probes := !probes + Array.length zs;
           Array.iter
             (fun c ->
               if keep_zy c b then
@@ -50,13 +65,20 @@ let expand_counts_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi =
                   Jp_util.Vec.push buf c
                 end
                 else Array.unsafe_set counts c (Array.unsafe_get counts c + 1))
-            (Relation.adj_dst s b))
+            zs
+        end)
       (Relation.adj_src r a);
+    if obs then misses := !misses + Jp_util.Vec.length buf;
     Jp_util.Vec.sort_dedup buf;
     let zs = Jp_util.Vec.to_array buf in
     let cs = Array.map (fun c -> counts.(c)) zs in
     rows.(a) <- (zs, cs)
-  done
+  done;
+  if obs then begin
+    Jp_obs.add Jp_obs.C.light_probes !probes;
+    Jp_obs.add Jp_obs.C.stamp_misses !misses;
+    Jp_obs.add Jp_obs.C.stamp_hits (!probes - !misses)
+  end
 
 let default_filters keep_y keep_zy =
   let keep_y = match keep_y with Some f -> f | None -> fun _ -> true in
@@ -73,20 +95,22 @@ let run_split ~domains ~n body =
   end
 
 let project ?(domains = 1) ?xs ?keep_y ?keep_zy ~r ~s () =
-  let keep_y, keep_zy = default_filters keep_y keep_zy in
-  let xs = match xs with Some a -> a | None -> all_xs r in
-  let rows = Array.make (Relation.src_count r) [||] in
-  run_split ~domains ~n:(Array.length xs) (fun lo hi ->
-      expand_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi);
-  Pairs.of_rows_unchecked rows
+  Jp_obs.span "wcoj.expand" (fun () ->
+      let keep_y, keep_zy = default_filters keep_y keep_zy in
+      let xs = match xs with Some a -> a | None -> all_xs r in
+      let rows = Array.make (Relation.src_count r) [||] in
+      run_split ~domains ~n:(Array.length xs) (fun lo hi ->
+          expand_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi);
+      Pairs.of_rows_unchecked rows)
 
 let project_counts ?(domains = 1) ?xs ?keep_y ?keep_zy ~r ~s () =
-  let keep_y, keep_zy = default_filters keep_y keep_zy in
-  let xs = match xs with Some a -> a | None -> all_xs r in
-  let rows = Array.make (Relation.src_count r) ([||], [||]) in
-  run_split ~domains ~n:(Array.length xs) (fun lo hi ->
-      expand_counts_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi);
-  Counted_pairs.of_rows_unchecked rows
+  Jp_obs.span "wcoj.expand_counts" (fun () ->
+      let keep_y, keep_zy = default_filters keep_y keep_zy in
+      let xs = match xs with Some a -> a | None -> all_xs r in
+      let rows = Array.make (Relation.src_count r) ([||], [||]) in
+      run_split ~domains ~n:(Array.length xs) (fun lo hi ->
+          expand_counts_range ~r ~s ~keep_y ~keep_zy ~rows ~xs lo hi);
+      Counted_pairs.of_rows_unchecked rows)
 
 let count_distinct ?xs ?keep_y ~r ~s () =
   let keep_y = match keep_y with Some f -> f | None -> fun _ -> true in

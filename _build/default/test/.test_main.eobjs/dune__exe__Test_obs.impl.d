@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Fun Gen Joinproj Jp_obs Jp_relation List String

@@ -1,1 +1,1 @@
-test/test_util.ml: Alcotest Array Gen Jp_util List QCheck QCheck_alcotest Seq String
+test/test_util.ml: Alcotest Array Float Gen Jp_util List QCheck QCheck_alcotest Seq String

@@ -19,5 +19,6 @@ let () =
       ("factorized", Test_factorized.suite);
       ("io", Test_io.suite);
       ("dynamic", Test_dynamic.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]

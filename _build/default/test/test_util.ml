@@ -174,6 +174,36 @@ let prop_heap_sorts =
       let drained = List.init (List.length l) (fun _ -> fst (Jp_util.Heap.pop_min h)) in
       drained = List.sort compare l)
 
+let test_timer_median () =
+  (* Three runs with well-separated busy-wait lengths; the run that was
+     actually the median (measured independently here) must be the one
+     whose value and time come back. *)
+  let busy seconds =
+    let t0 = Jp_util.Timer.now () in
+    while Jp_util.Timer.now () -. t0 < seconds do () done
+  in
+  let calls = ref 0 in
+  let durations = Array.make 3 0.0 in
+  let x, dt =
+    Jp_util.Timer.time_median ~repeats:3 (fun () ->
+        let i = !calls in
+        incr calls;
+        let t0 = Jp_util.Timer.now () in
+        busy (0.001 +. (0.004 *. float_of_int i));
+        durations.(i) <- Jp_util.Timer.now () -. t0;
+        i)
+  in
+  Alcotest.(check int) "ran exactly repeats times" 3 !calls;
+  let order = [| 0; 1; 2 |] in
+  Array.sort (fun a b -> compare durations.(a) durations.(b)) order;
+  Alcotest.(check int) "value comes from the median-timed run" order.(1) x;
+  Alcotest.(check bool)
+    "returned time is that run's time" true
+    (Float.abs (dt -. durations.(x)) < 0.002);
+  Alcotest.check_raises "repeats must be >= 1"
+    (Invalid_argument "Timer.time_median") (fun () ->
+      ignore (Jp_util.Timer.time_median ~repeats:0 (fun () -> ())))
+
 let test_tablefmt () =
   let s =
     Jp_util.Tablefmt.render ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ]
@@ -199,5 +229,6 @@ let suite =
     Alcotest.test_case "intsort sub" `Quick test_intsort_sub;
     Alcotest.test_case "heap basic" `Quick test_heap_basic;
     QCheck_alcotest.to_alcotest prop_heap_sorts;
+    Alcotest.test_case "timer median" `Quick test_timer_median;
     Alcotest.test_case "tablefmt" `Quick test_tablefmt;
   ]

@@ -34,9 +34,15 @@ let fig4a cfg =
         let r = Bench_common.dataset cfg name in
         let cells, sizes =
           List.split
-            (List.map (fun (_, f) -> Bench_common.timed_cell cfg (fun () -> f r)) engines)
+            (List.map
+               (fun (ename, f) ->
+                 Bench_common.timed_cell
+                   ~label:(Printf.sprintf "%s/%s" (Presets.to_string name) ename)
+                   cfg
+                   (fun () -> f r))
+               engines)
         in
-        Bench_common.check_consistent ~label:(Presets.to_string name) sizes;
+        Bench_common.check_consistent cfg ~label:(Presets.to_string name) sizes;
         (Presets.to_string name :: cells)
         @ [ Tablefmt.big_int (List.hd sizes) ])
       Presets.all
@@ -60,14 +66,20 @@ let fig4b cfg =
         let r = star_sample cfg name in
         let rels = [| r; r; r |] in
         let mm, n1 =
-          Bench_common.timed_cell cfg (fun () ->
+          Bench_common.timed_cell
+            ~label:(Presets.to_string name ^ "/MMJoin")
+            cfg
+            (fun () ->
               Jp_relation.Tuples.count (Star.project ~strategy:Star.Matrix rels))
         in
         let comb, n2 =
-          Bench_common.timed_cell cfg (fun () ->
+          Bench_common.timed_cell
+            ~label:(Presets.to_string name ^ "/Non-MMJoin")
+            cfg
+            (fun () ->
               Jp_relation.Tuples.count (Star.project ~strategy:Star.Combinatorial rels))
         in
-        Bench_common.check_consistent ~label:(Presets.to_string name) [ n1; n2 ];
+        Bench_common.check_consistent cfg ~label:(Presets.to_string name) [ n1; n2 ];
         [ Presets.to_string name; mm; comb; Tablefmt.big_int n1 ])
       Presets.all
   in
@@ -162,11 +174,13 @@ let example4 cfg =
     let rels = [| r; r; r |] in
     let out = ref 0 in
     let t_mm =
-      Bench_common.time cfg (fun () ->
+      Bench_common.time ~label:(Printf.sprintf "N=%d/MMJoin" members) cfg
+        (fun () ->
           out := Jp_relation.Tuples.count (Star.project ~strategy:Star.Matrix rels))
     in
     let t_comb =
-      Bench_common.time cfg (fun () -> Star.project ~strategy:Star.Combinatorial rels)
+      Bench_common.time ~label:(Printf.sprintf "N=%d/Non-MMJoin" members) cfg
+        (fun () -> Star.project ~strategy:Star.Combinatorial rels)
     in
     (n, !out, t_mm, t_comb)
   in

@@ -51,7 +51,7 @@ let fig4c cfg =
                (fun (_, f) -> Bench_common.timed_cell cfg (fun () -> f r))
                algos)
         in
-        Bench_common.check_consistent ~label sizes;
+        Bench_common.check_consistent cfg ~label sizes;
         (label :: cells) @ [ Tablefmt.big_int (List.hd sizes) ])
       named_datasets
   in

@@ -17,7 +17,7 @@ let unordered_row cfg r c =
   let sa, n3 =
     Bench_common.timed_cell cfg (fun () -> Pairs.count (Size_aware.join ~c r))
   in
-  Bench_common.check_consistent ~label:(Printf.sprintf "ssj c=%d" c) [ n1; n2; n3 ];
+  Bench_common.check_consistent cfg ~label:(Printf.sprintf "ssj c=%d" c) [ n1; n2; n3 ];
   [ string_of_int c; mm; pp; sa; Tablefmt.big_int n1 ]
 
 (* FIG5a/5b/5c: unordered SSJ vs c on dblp, jokes, image (1 core). *)
@@ -99,7 +99,7 @@ let ordered cfg =
               Bench_common.timed_cell cfg (fun () ->
                   Array.length (Jp_ssj.Ordered.via_pairs r ~c (Size_aware.join ~c r)))
             in
-            Bench_common.check_consistent
+            Bench_common.check_consistent cfg
               ~label:(Printf.sprintf "ordered ssj c=%d" c)
               [ n1; n2; n3 ];
             [ string_of_int c; mm; pp; sa; Tablefmt.big_int n1 ])
