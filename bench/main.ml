@@ -27,6 +27,7 @@ let experiments =
     ("FIG8", Bench_ssj.fig8);
     ("EX4", Bench_join.example4);
     ("ABL", Bench_ablation.all);
+    ("ABL-GUARD", Bench_ablation.guard);
   ]
 
 let () =

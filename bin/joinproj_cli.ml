@@ -50,6 +50,62 @@ let domains =
 let seed =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Generator seed.")
 
+(* Adaptive-guard flags, shared by join/star/ssj/scj/bsi/profile. *)
+
+let adaptive =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Run under the adaptive plan guard: runtime checkpoints compare \
+           observed work against the plan's estimates and may re-plan or \
+           degrade mid-query.")
+
+let budget_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock budget in milliseconds (implies $(b,--adaptive)); \
+           exhausting it degrades matrix plans to the safe combinatorial \
+           path.")
+
+let inject_est =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "inject-est" ] ~docv:"FACTOR"
+        ~doc:
+          "Scale the optimizer's |OUT| estimate by FACTOR (deterministic \
+           misestimation injection; implies $(b,--adaptive)).  FACTOR < 1 \
+           underestimates, > 1 overestimates; the guard's checkpoints are \
+           what recovers from it.")
+
+(* [None] when no guard flag was given, so the default paths stay exactly
+   the unguarded ones. *)
+let guard_of adaptive budget_ms inject_est =
+  if (not adaptive) && budget_ms = None && inject_est = None then None
+  else begin
+    let module Guard = Jp_adaptive.Guard in
+    let cfg = Guard.default in
+    let cfg =
+      match budget_ms with Some ms -> Guard.with_budget_ms ms cfg | None -> cfg
+    in
+    let cfg =
+      match inject_est with
+      | Some f -> Guard.with_inject (Jp_adaptive.Inject.out_only f) cfg
+      | None -> cfg
+    in
+    Some cfg
+  end
+
+let warn_guard_unsupported guard what =
+  if guard <> None then
+    Printf.eprintf
+      "joinproj: note: --adaptive/--budget-ms/--inject-est have no effect on %s\n"
+      what
+
 let load_input path =
   match Jp_io.Relation_io.load_file path with
   | Ok r -> r
@@ -138,30 +194,42 @@ let engine =
         ~doc:"Engine: $(b,mm), $(b,nonmm), $(b,wcoj), $(b,hash), $(b,sortmerge) or $(b,bitset).")
 
 let join_cmd =
-  let run name input scale seed domains engine =
+  let run name input scale seed domains engine adaptive budget_ms inject_est =
     let r = load_source name input scale seed in
+    let guard = guard_of adaptive budget_ms inject_est in
     let count, t =
       Jp_util.Timer.time (fun () ->
           match engine with
           | `Mm ->
-            let pairs, plan = Two_path.project_with_plan_info ~domains ~r ~s:r () in
+            let pairs, plan =
+              Two_path.project_with_plan_info ~domains ?guard ~r ~s:r ()
+            in
             print_endline (Optimizer.explain plan);
             Jp_relation.Pairs.count pairs
           | `Nonmm ->
             Jp_relation.Pairs.count
-              (Two_path.project ~domains ~strategy:Two_path.Combinatorial ~r ~s:r ())
-          | `Wcoj -> Jp_relation.Pairs.count (Jp_baselines.Fulljoin.two_path ~domains ~r ~s:r ())
-          | `Hash -> Jp_relation.Pairs.count (Jp_baselines.Hash_join.two_path ~r ~s:r)
+              (Two_path.project ~domains ~strategy:Two_path.Combinatorial ?guard
+                 ~r ~s:r ())
+          | `Wcoj ->
+            warn_guard_unsupported guard "the wcoj baseline";
+            Jp_relation.Pairs.count (Jp_baselines.Fulljoin.two_path ~domains ~r ~s:r ())
+          | `Hash ->
+            warn_guard_unsupported guard "the hash baseline";
+            Jp_relation.Pairs.count (Jp_baselines.Hash_join.two_path ~r ~s:r)
           | `Sortmerge ->
+            warn_guard_unsupported guard "the sortmerge baseline";
             Jp_relation.Pairs.count (Jp_baselines.Sortmerge_join.two_path ~r ~s:r)
           | `Bitset ->
+            warn_guard_unsupported guard "the bitset baseline";
             Jp_relation.Pairs.count (Jp_baselines.Bitset_engine.two_path ~r ~s:r ()))
     in
     report "two-path join-project" count t
   in
   Cmd.v
     (Cmd.info "join" ~doc:"Evaluate the 2-path join-project self-join.")
-    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ engine)
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ engine
+      $ adaptive $ budget_ms $ inject_est)
 
 let star_cmd =
   let k =
@@ -172,22 +240,27 @@ let star_cmd =
       value & flag
       & info [ "combinatorial" ] ~doc:"Use the combinatorial heavy part (Non-MMJoin).")
   in
-  let run name input scale seed domains k combinatorial =
+  let run name input scale seed domains k combinatorial adaptive budget_ms
+      inject_est =
     if k < 2 then failwith "k must be >= 2";
     let r = load_source name input scale seed in
+    let guard = guard_of adaptive budget_ms inject_est in
     let rels = Array.make k r in
     let strategy =
       if combinatorial then Joinproj.Star.Combinatorial else Joinproj.Star.Matrix
     in
     let count, t =
       Jp_util.Timer.time (fun () ->
-          Jp_relation.Tuples.count (Joinproj.Star.project ~domains ~strategy rels))
+          Jp_relation.Tuples.count
+            (Joinproj.Star.project ~domains ~strategy ?guard rels))
     in
     report (Printf.sprintf "star join (k=%d)" k) count t
   in
   Cmd.v
     (Cmd.info "star" ~doc:"Evaluate the star join-project self-join.")
-    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ k $ combinatorial)
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ k
+      $ combinatorial $ adaptive $ budget_ms $ inject_est)
 
 let ssj_cmd =
   let c = Arg.(value & opt int 2 & info [ "c" ] ~docv:"C" ~doc:"Overlap threshold.") in
@@ -201,8 +274,13 @@ let ssj_cmd =
   let ordered =
     Arg.(value & flag & info [ "ordered" ] ~doc:"Enumerate by decreasing overlap.")
   in
-  let run name input scale seed domains c algo ordered =
+  let run name input scale seed domains c algo ordered adaptive budget_ms
+      inject_est =
     let r = load_source name input scale seed in
+    let guard = guard_of adaptive budget_ms inject_est in
+    (match algo with
+    | `Mm -> ()
+    | `Sa | `Sapp -> warn_guard_unsupported guard "the size-aware algorithms");
     if ordered then begin
       let result, t =
         Jp_util.Timer.time (fun () ->
@@ -223,7 +301,7 @@ let ssj_cmd =
         Jp_util.Timer.time (fun () ->
             Jp_relation.Pairs.count
               (match algo with
-              | `Mm -> Jp_ssj.Mm_ssj.join ~domains ~c r
+              | `Mm -> Jp_ssj.Mm_ssj.join ~domains ?guard ~c r
               | `Sa -> Jp_ssj.Size_aware.join ~c r
               | `Sapp -> Jp_ssj.Size_aware_pp.join ~domains ~c r))
       in
@@ -232,7 +310,9 @@ let ssj_cmd =
   in
   Cmd.v
     (Cmd.info "ssj" ~doc:"Set-similarity self-join.")
-    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ c $ algo $ ordered)
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ c $ algo
+      $ ordered $ adaptive $ budget_ms $ inject_est)
 
 let scj_cmd =
   let algo =
@@ -245,13 +325,18 @@ let scj_cmd =
       & info [ "a"; "algo" ] ~docv:"ALGO"
           ~doc:"Algorithm: $(b,mm), $(b,pretti), $(b,limit+) or $(b,piejoin).")
   in
-  let run name input scale seed domains algo =
+  let run name input scale seed domains algo adaptive budget_ms inject_est =
     let r = load_source name input scale seed in
+    let guard = guard_of adaptive budget_ms inject_est in
+    (match algo with
+    | `Mm -> ()
+    | `Pretti | `Limit | `Pie ->
+      warn_guard_unsupported guard "the trie-based algorithms");
     let count, t =
       Jp_util.Timer.time (fun () ->
           Jp_relation.Pairs.count
             (match algo with
-            | `Mm -> Jp_scj.Mm_scj.join ~domains r
+            | `Mm -> Jp_scj.Mm_scj.join ~domains ?guard r
             | `Pretti -> Jp_scj.Pretti.join r
             | `Limit -> Jp_scj.Limit_plus.join r
             | `Pie -> Jp_scj.Piejoin.join ~domains r))
@@ -260,7 +345,9 @@ let scj_cmd =
   in
   Cmd.v
     (Cmd.info "scj" ~doc:"Set-containment self-join.")
-    Term.(const run $ dataset $ input_file $ scale $ seed $ domains $ algo)
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ algo
+      $ adaptive $ budget_ms $ inject_est)
 
 let bsi_cmd =
   let batch =
@@ -275,13 +362,16 @@ let bsi_cmd =
   let combinatorial =
     Arg.(value & flag & info [ "combinatorial" ] ~doc:"Use the combinatorial engine.")
   in
-  let run name input scale seed domains batch rate count combinatorial =
+  let run name input scale seed domains batch rate count combinatorial adaptive
+      budget_ms inject_est =
     let r = load_source name input scale seed in
+    let guard = guard_of adaptive budget_ms inject_est in
     let n = Relation.src_count r in
     let queries = Jp_workload.Generate.batch_queries ~seed ~count ~nx:n ~nz:n () in
     let strategy = if combinatorial then Jp_bsi.Bsi.Combinatorial else Jp_bsi.Bsi.Mm in
     let stats =
-      Jp_bsi.Bsi.simulate ~domains ~strategy ~r ~s:r ~queries ~rate ~batch_size:batch ()
+      Jp_bsi.Bsi.simulate ~domains ~strategy ?guard ~r ~s:r ~queries ~rate
+        ~batch_size:batch ()
     in
     Printf.printf
       "batch=%d  batches=%d  avg delay %s  max delay %s  units needed %.2f\n"
@@ -294,7 +384,7 @@ let bsi_cmd =
     (Cmd.info "bsi" ~doc:"Boolean set intersection under a batched workload.")
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ batch $ rate
-      $ count $ combinatorial)
+      $ count $ combinatorial $ adaptive $ budget_ms $ inject_est)
 
 let profile_cmd =
   let what =
@@ -317,8 +407,10 @@ let profile_cmd =
             "Also write the span events as Chrome-trace JSON (load in \
              chrome://tracing or Perfetto).")
   in
-  let run name input scale seed domains what trace_out =
+  let run name input scale seed domains what trace_out adaptive budget_ms
+      inject_est =
     let r = load_source name input scale seed in
+    let guard = guard_of adaptive budget_ms inject_est in
     (* The plan lines come from the same helper as [explain]; print them
        before recording starts so the extra planning calls stay out of the
        span tree. *)
@@ -332,19 +424,20 @@ let profile_cmd =
           Jp_util.Timer.time (fun () ->
               match what with
               | `Join ->
-                Jp_relation.Pairs.count (Two_path.project ~domains ~r ~s:r ())
+                Jp_relation.Pairs.count (Two_path.project ~domains ?guard ~r ~s:r ())
               | `Star ->
                 Jp_relation.Tuples.count
-                  (Joinproj.Star.project ~domains (Array.make 3 r))
-              | `Ssj -> Jp_relation.Pairs.count (Jp_ssj.Mm_ssj.join ~domains ~c:2 r)
-              | `Scj -> Jp_relation.Pairs.count (Jp_scj.Mm_scj.join ~domains r)
+                  (Joinproj.Star.project ~domains ?guard (Array.make 3 r))
+              | `Ssj ->
+                Jp_relation.Pairs.count (Jp_ssj.Mm_ssj.join ~domains ?guard ~c:2 r)
+              | `Scj -> Jp_relation.Pairs.count (Jp_scj.Mm_scj.join ~domains ?guard r)
               | `Bsi ->
                 let n = Relation.src_count r in
                 let queries =
                   Jp_workload.Generate.batch_queries ~seed ~count:4000 ~nx:n ~nz:n ()
                 in
                 let answers =
-                  Jp_bsi.Bsi.answer_batch ~domains ~r ~s:r queries
+                  Jp_bsi.Bsi.answer_batch ~domains ?guard ~r ~s:r queries
                 in
                 Array.fold_left (fun acc hit -> if hit then acc + 1 else acc) 0 answers)
           |> fun (count, t) ->
@@ -384,7 +477,8 @@ let profile_cmd =
          "Run a flow with Jp_obs recording enabled and print the span tree, \
           the engine counters and the plan-vs-actual table.")
     Term.(
-      const run $ dataset $ input_file $ scale $ seed $ domains $ what $ trace_out)
+      const run $ dataset $ input_file $ scale $ seed $ domains $ what
+      $ trace_out $ adaptive $ budget_ms $ inject_est)
 
 let query_cmd =
   let query_text =

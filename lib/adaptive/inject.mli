@@ -1,0 +1,50 @@
+(** Deterministic misestimation injection.
+
+    The optimizer's inputs — the |OUT| estimate of {!Joinproj.Estimator}
+    and the matrix-cost estimate M̂ of {!Jp_matrix.Cost} — are exactly the
+    quantities Section 6 shows can be badly off on skewed data.  An
+    injector scales them by chosen factors {e before} planning, so tests
+    and benches can force every guard transition (Wcoj ⇄ Partitioned,
+    budget degradation) on demand instead of hunting for adversarial
+    datasets.
+
+    Injection only distorts what the planner {e believes}; re-planning
+    inside the guard always uses clean (un-injected) estimates, which is
+    what lets a guarded run recover.  All randomness (the jittered
+    variant) flows through {!Jp_util.Rng} with an explicit seed, so
+    injected runs are exactly reproducible. *)
+
+type t = {
+  out_factor : float;  (** multiplies the |OUT| estimate (1.0 = honest) *)
+  mm_factor : float;  (** multiplies the M̂ matrix-cost estimate *)
+}
+
+val none : t
+(** Both factors 1.0: planning is untouched. *)
+
+val is_none : t -> bool
+
+val uniform : float -> t
+(** [uniform f] scales both estimates by [f].  [f < 1] simulates
+    underestimation (e.g. [0.01] is the 100× |OUT| underestimate of the
+    ABL-GUARD ablation), [f > 1] overestimation. *)
+
+val out_only : float -> t
+
+val mm_only : float -> t
+
+val jittered : seed:int -> spread:float -> float -> t
+(** [jittered ~seed ~spread f] draws each factor uniformly from
+    [[f/spread, f·spread]] using a {!Jp_util.Rng} stream seeded with
+    [seed] — deterministic run-to-run, but decorrelates the two factors
+    the way real estimator error does.  [spread] must be ≥ 1. *)
+
+val out : t -> int -> int
+(** Apply [out_factor] to an |OUT| estimate, clamped to ≥ 1. *)
+
+val seconds : t -> float -> float
+(** Apply [mm_factor] to a cost in seconds. *)
+
+val to_string : t -> string
+(** ["inject(out=0.01,mm=1.00)"], or [""] for {!none} — appended to the
+    rendered plan decision in observability records. *)

@@ -21,12 +21,15 @@ type strategy =
 val answer_batch :
   ?domains:int ->
   ?strategy:strategy ->
+  ?guard:Jp_adaptive.Guard.config ->
   r:Relation.t ->
   s:Relation.t ->
   (int * int) array ->
   bool array
 (** [answer_batch ~r ~s queries].(i) tells whether the two sets of query
-    [i] share at least one element. *)
+    [i] share at least one element.  [guard] supervises the per-batch
+    join-project under [Mm] (see {!Joinproj.Two_path.project}); the
+    [Combinatorial] comparator is already the safe path and ignores it. *)
 
 val answer_one : r:Relation.t -> s:Relation.t -> int -> int -> bool
 (** Single-query merge-scan reference (the per-request baseline of
@@ -56,6 +59,7 @@ val predicted_latency : n:int -> rate:float -> batch_size:int -> float
 val simulate :
   ?domains:int ->
   ?strategy:strategy ->
+  ?guard:Jp_adaptive.Guard.config ->
   r:Relation.t ->
   s:Relation.t ->
   queries:(int * int) array ->

@@ -105,12 +105,38 @@ let d2_for idx ~est_out d1 =
   (* N·Δ₁ = |OUT|·Δ₂ (line 9 of Algorithm 3) *)
   max 1 (min idx.n (idx.n * d1 / max 1 est_out))
 
-let generic_plan ?machine ?(domains = 1) ~kind ?(wcoj_factor = 20) ~counts_mode
-    ~tie_d2 ~r ~s () =
+(* Reusable planning state: the degree indexes and the exact join size
+   for one (r, s) pair.  Building this is the O(N) part of planning;
+   every plan/estimate_cost call on a [prepared] value afterwards only
+   runs the geometric descent over index probes.  The guard layer
+   prepares once per invocation so mid-query checkpoints can afford
+   speculative re-planning. *)
+type prepared = {
+  p_r : Relation.t;
+  p_s : Relation.t;
+  p_idx : indexes;
+  p_join_size : int Lazy.t;
+}
+
+let prepare ~r ~s =
+  Jp_obs.span "optimizer.prepare" (fun () ->
+      {
+        p_r = r;
+        p_s = s;
+        p_idx = build_indexes ~r ~s;
+        p_join_size = lazy (Estimator.join_size ~r ~s);
+      })
+
+let generic_plan ?machine ?(domains = 1) ~kind ?(wcoj_factor = 20)
+    ?est_out ?(mm_cost_scale = 1.0) ~counts_mode ~tie_d2 prep () =
   let m = match machine with Some m -> m | None -> Cost.machine () in
-  let join_size = Estimator.join_size ~r ~s in
-  let est_out = Estimator.estimate ~r ~s in
-  let idx = build_indexes ~r ~s in
+  let join_size = Lazy.force prep.p_join_size in
+  let est_out =
+    match est_out with
+    | Some e -> max 1 e
+    | None -> Estimator.estimate ~r:prep.p_r ~s:prep.p_s
+  in
+  let idx = prep.p_idx in
   let wcoj_cost = wcoj_seconds m ~join_size ~dom_x:idx.dom_x in
   if join_size <= wcoj_factor * idx.n then
     { decision = Wcoj; est_out; join_size; est_seconds = wcoj_cost }
@@ -118,7 +144,8 @@ let generic_plan ?machine ?(domains = 1) ~kind ?(wcoj_factor = 20) ~counts_mode
     let cost d1 =
       let d2 = tie_d2 idx ~est_out d1 in
       light_seconds ~counts_mode m idx ~d1 ~d2
-      +. heavy_seconds m kind ~domains (heavy_dims ~counts_mode idx ~d1 ~d2)
+      +. mm_cost_scale
+         *. heavy_seconds m kind ~domains (heavy_dims ~counts_mode idx ~d1 ~d2)
     in
     let start = max 1 (Stats.max_degree idx.y_by_min) in
     let d1, best_cost = descend ~cost ~start in
@@ -134,18 +161,44 @@ let generic_plan ?machine ?(domains = 1) ~kind ?(wcoj_factor = 20) ~counts_mode
       }
   end
 
-let plan ?machine ?domains ?(kind = Cost.Boolean) ?wcoj_factor ~r ~s () =
-  Jp_obs.span "optimizer.plan" (fun () ->
-      generic_plan ?machine ?domains ~kind ?wcoj_factor ~counts_mode:false
-        ~tie_d2:d2_for ~r ~s ())
+(* d2 pinned to the maximal degree for counts mode: only the join variable
+   is partitioned, every x/z counts as light. *)
+let max_d2 idx ~est_out:_ _d1 = idx.n
 
-let plan_counts ?machine ?domains ?wcoj_factor ~r ~s () =
-  (* Only the join variable is partitioned: every x/z counts as light, so
-     d2 is pinned to the maximal degree. *)
-  let max_d2 idx ~est_out:_ _d1 = idx.n in
+let plan_prepared ?machine ?domains ?(kind = Cost.Boolean) ?wcoj_factor
+    ?est_out ?mm_cost_scale prep () =
+  Jp_obs.span "optimizer.plan" (fun () ->
+      generic_plan ?machine ?domains ~kind ?wcoj_factor ?est_out ?mm_cost_scale
+        ~counts_mode:false ~tie_d2:d2_for prep ())
+
+let plan_counts_prepared ?machine ?domains ?wcoj_factor ?est_out ?mm_cost_scale
+    prep () =
   Jp_obs.span "optimizer.plan_counts" (fun () ->
-      generic_plan ?machine ?domains ~kind:Cost.Count ?wcoj_factor ~counts_mode:true
-        ~tie_d2:max_d2 ~r ~s ())
+      generic_plan ?machine ?domains ~kind:Cost.Count ?wcoj_factor ?est_out
+        ?mm_cost_scale ~counts_mode:true ~tie_d2:max_d2 prep ())
+
+let plan ?machine ?domains ?kind ?wcoj_factor ?est_out ?mm_cost_scale ~r ~s () =
+  plan_prepared ?machine ?domains ?kind ?wcoj_factor ?est_out ?mm_cost_scale
+    (prepare ~r ~s) ()
+
+let plan_counts ?machine ?domains ?wcoj_factor ?est_out ?mm_cost_scale ~r ~s () =
+  plan_counts_prepared ?machine ?domains ?wcoj_factor ?est_out ?mm_cost_scale
+    (prepare ~r ~s) ()
+
+let estimate_cost_prepared ?machine ?(domains = 1) ?(kind = Cost.Boolean)
+    ?(counts_mode = false) prep decision =
+  let m = match machine with Some m -> m | None -> Cost.machine () in
+  let idx = prep.p_idx in
+  match decision with
+  | Wcoj ->
+    wcoj_seconds m ~join_size:(Lazy.force prep.p_join_size) ~dom_x:idx.dom_x
+  | Partitioned { d1; d2 } ->
+    light_seconds ~counts_mode m idx ~d1 ~d2
+    +. heavy_seconds m kind ~domains (heavy_dims ~counts_mode idx ~d1 ~d2)
+
+let estimate_cost ?machine ?domains ?kind ?counts_mode ~r ~s decision =
+  estimate_cost_prepared ?machine ?domains ?kind ?counts_mode (prepare ~r ~s)
+    decision
 
 let theoretical_thresholds ~n ~out =
   if n < 1 || out < 1 then invalid_arg "Optimizer.theoretical_thresholds";

@@ -31,23 +31,43 @@ type plan = {
   est_seconds : float;  (** estimated cost of the chosen plan *)
 }
 
+type prepared
+(** The Section-5 degree indexes and exact join size for one (r, s) pair.
+    Building one is the O(N) part of planning; {!plan_prepared} and
+    {!estimate_cost_prepared} afterwards only run the geometric descent
+    over O(log N) index probes.  The adaptive guard layer prepares once
+    per invocation, which is what makes speculative re-planning at
+    mid-query checkpoints affordable. *)
+
+val prepare : r:Relation.t -> s:Relation.t -> prepared
+
 val plan :
   ?machine:Cost.machine ->
   ?domains:int ->
   ?kind:Cost.kind ->
   ?wcoj_factor:int ->
+  ?est_out:int ->
+  ?mm_cost_scale:float ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
   plan
 (** Algorithm 3.  [kind] selects the matrix kernel the heavy part would
     use (default [Boolean]; use [Count] when multiplicities are needed).
-    [machine] defaults to the lazily calibrated singleton. *)
+    [machine] defaults to the lazily calibrated singleton.
+
+    [est_out] overrides the {!Estimator.estimate} |OUT| estimate and
+    [mm_cost_scale] multiplies the M̂ term of every candidate cost —
+    the hooks the adaptive guard layer uses both to {e inject}
+    misestimation (forcing a deliberately bad plan) and to {e re-plan}
+    with statistics observed at a runtime checkpoint. *)
 
 val plan_counts :
   ?machine:Cost.machine ->
   ?domains:int ->
   ?wcoj_factor:int ->
+  ?est_out:int ->
+  ?mm_cost_scale:float ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
@@ -55,6 +75,55 @@ val plan_counts :
 (** Variant for the exact-count evaluation used by SSJ/SCJ, where only the
     join variable is partitioned: the returned [d2] is the maximal degree
     (every x/z is treated as light outside the matrix). *)
+
+val plan_prepared :
+  ?machine:Cost.machine ->
+  ?domains:int ->
+  ?kind:Cost.kind ->
+  ?wcoj_factor:int ->
+  ?est_out:int ->
+  ?mm_cost_scale:float ->
+  prepared ->
+  unit ->
+  plan
+(** {!plan} from pre-built indexes — cheap enough to call at a runtime
+    checkpoint. *)
+
+val plan_counts_prepared :
+  ?machine:Cost.machine ->
+  ?domains:int ->
+  ?wcoj_factor:int ->
+  ?est_out:int ->
+  ?mm_cost_scale:float ->
+  prepared ->
+  unit ->
+  plan
+(** {!plan_counts} from pre-built indexes. *)
+
+val estimate_cost :
+  ?machine:Cost.machine ->
+  ?domains:int ->
+  ?kind:Cost.kind ->
+  ?counts_mode:bool ->
+  r:Relation.t ->
+  s:Relation.t ->
+  decision ->
+  float
+(** Honest (un-injected, estimate-free) cost of executing [decision] on
+    [r ⋈ s]: the light side is costed exactly from the degree indexes and
+    the heavy side from M̂ on the true heavy dimensions.  Guard
+    checkpoints compare this against a plan's [est_seconds] to detect
+    cost misestimation after the heavy/light split is known. *)
+
+val estimate_cost_prepared :
+  ?machine:Cost.machine ->
+  ?domains:int ->
+  ?kind:Cost.kind ->
+  ?counts_mode:bool ->
+  prepared ->
+  decision ->
+  float
+(** {!estimate_cost} from pre-built indexes. *)
 
 val theoretical_thresholds : n:int -> out:int -> int * int
 (** The closed-form thresholds of Section 3.1's analysis (assuming ω = 2),

@@ -131,11 +131,24 @@ let phase phases name f =
   end
   else f ()
 
-let project_impl ~strategy ~thresholds rels =
+let project_impl ~strategy ~thresholds ~guard rels =
+  let module Guard = Jp_adaptive.Guard in
   let k = Array.length rels in
   if k < 2 then invalid_arg "Star.project: arity must be >= 2";
   let t_start = Jp_util.Timer.now () in
   let phases = ref [] in
+  let g = Option.map Guard.start guard in
+  (* Entry checkpoint: an already-blown time budget forbids the matrix
+     step before any work is done.  Star thresholds are input-derived
+     (no |OUT| estimate to inject or re-plan), so the guard's job here is
+     budgets and outcome recording. *)
+  let strategy =
+    match g with
+    | Some g when strategy = Matrix && Guard.check_budget g ~cells:0 = Guard.Degrade ->
+      Guard.note_degrade g;
+      Combinatorial
+    | _ -> strategy
+  in
   let d1, d2 = match thresholds with Some t -> t | None -> choose_thresholds rels in
   let dims = Array.map Relation.src_count rels in
   let builder = Tuples.create_builder ~arity:k ~dims in
@@ -204,6 +217,27 @@ let project_impl ~strategy ~thresholds rels =
         fill 0)
       qualifying_ys
   in
+  (* Pre-MM checkpoint: with the qualifying heavy residue known, the time
+     budget can still veto the matrices, and the cells budget tightens the
+     interning cap so u·v + v·w stays within it (the product itself is
+     streamed in O(w)). *)
+  let strategy =
+    match g with
+    | Some g when strategy = Matrix && Guard.check_budget g ~cells:0 = Guard.Degrade ->
+      Guard.note_degrade g;
+      Combinatorial
+    | _ -> strategy
+  in
+  let combo_cap =
+    let default = 5_000_000 in
+    match g with
+    | Some g -> (
+      match (Guard.config g).Guard.budget.Guard.max_cells with
+      | Some cells ->
+        min default (cells / (2 * max 1 (Array.length qualifying_ys)))
+      | None -> default)
+    | None -> default
+  in
   let heavy_path = ref "comb" in
   (match strategy with
   | Combinatorial ->
@@ -213,19 +247,21 @@ let project_impl ~strategy ~thresholds rels =
       phase phases "heavy-mm" (fun () ->
           Obs.span "star.heavy_mm" (fun () ->
               heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k
-                ~combo_cap:5_000_000));
+                ~combo_cap));
       heavy_path := "mm"
     with Matrix_overflow ->
+      (match g with Some g -> Guard.note_degrade g | None -> ());
       phase phases "heavy-comb" (fun () -> combinatorial_heavy ())));
   let result = phase phases "build" (fun () -> Tuples.build builder) in
   if Obs.recording () then
     Obs.record_plan ~label:"star"
+      ~degraded:(match g with Some g -> Guard.degraded g | None -> false)
       ~decision:(Printf.sprintf "star-%s(d1=%d,d2=%d)" !heavy_path d1 d2)
       ~est_out:(-1) ~join_size:(full_join_size rels) ~est_seconds:Float.nan
       ~actual_out:(Tuples.count result)
       ~actual_seconds:(Jp_util.Timer.now () -. t_start)
-      ~phases:(List.rev !phases);
+      ~phases:(List.rev !phases) ();
   result
 
-let project ?domains:_ ?(strategy = Matrix) ?thresholds rels =
-  Obs.span "star.project" (fun () -> project_impl ~strategy ~thresholds rels)
+let project ?domains:_ ?(strategy = Matrix) ?thresholds ?guard rels =
+  Obs.span "star.project" (fun () -> project_impl ~strategy ~thresholds ~guard rels)

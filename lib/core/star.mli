@@ -33,10 +33,18 @@ val project :
   ?domains:int ->
   ?strategy:strategy ->
   ?thresholds:int * int ->
+  ?guard:Jp_adaptive.Guard.config ->
   Relation.t array ->
   Tuples.t
 (** [project rels] evaluates π{_x₁…x_k} of the star join.  Default
-    [thresholds] come from {!choose_thresholds}.  Arity must be ≥ 2. *)
+    [thresholds] come from {!choose_thresholds}.  Arity must be ≥ 2.
+
+    Star thresholds are input-derived (no |OUT| estimate), so [guard]
+    contributes budgets and outcome recording only: time-budget
+    checkpoints before the light steps and before the matrix step degrade
+    the heavy residue to the combinatorial enumeration, the cells budget
+    tightens the matrix interning cap, and a [Matrix_overflow] fallback is
+    recorded as a degradation in the plan-vs-actual record. *)
 
 val choose_thresholds : Relation.t array -> int * int
 (** Closed-form threshold choice in the spirit of Example 4: balances the

@@ -56,10 +56,103 @@ let heavy_matrices ~domains ~r ~s (p : Partition.t) =
         p.heavy_y;
       Boolmat.mul ~domains m1 m2)
 
-(* The merged per-x loop: light contributions from R- |><| S and R |><| S-,
-   heavy contributions from the matrix product (or from a heavy-restricted
-   expansion for the combinatorial strategy), all deduplicated with one
-   stamp vector. *)
+(* For heavy y values, pre-split S's inverted list into its light-z and
+   heavy-z halves once (O(N)); the per-x merge loop would otherwise rescan
+   whole inverted lists just to filter them, degenerating to the full join
+   when few values are light. *)
+let split_heavy_s ~r ~s (p : Partition.t) =
+  let ny = max (Relation.dst_count r) (Relation.dst_count s) in
+  let s_light_of_heavy_y = Array.make ny [||] in
+  let s_heavy_of_heavy_y = Array.make ny [||] in
+  Array.iter
+    (fun b ->
+      if b < Relation.dst_count s then begin
+        let zs = Relation.adj_dst s b in
+        let light = Vec.create () and heavy = Vec.create () in
+        Array.iter
+          (fun c ->
+            if Relation.deg_src s c <= p.d2 then Vec.push light c
+            else Vec.push heavy c)
+          zs;
+        s_light_of_heavy_y.(b) <- Vec.to_array light;
+        s_heavy_of_heavy_y.(b) <- Vec.to_array heavy
+      end)
+    p.heavy_y;
+  (s_light_of_heavy_y, s_heavy_of_heavy_y)
+
+(* Reusable per-worker merge scratch.  The guarded chunked loop keeps one
+   across chunks (stamp values are row ids, distinct across chunks, so
+   stale stamps can never collide); the parallel path allocates one per
+   worker as before. *)
+type merge_scratch = { stamps : int array; buf : Vec.t }
+
+let merge_scratch ~s =
+  { stamps = Array.make (Relation.src_count s) (-1); buf = Vec.create ~capacity:256 () }
+
+(* The merged per-x loop over rows [lo, hi): light contributions from
+   R- |><| S and R |><| S-, heavy contributions from the matrix product
+   (or from a heavy-restricted expansion for the combinatorial strategy),
+   all deduplicated with one stamp vector.  Returns the number of pairs
+   produced — the observed-output statistic guard checkpoints
+   extrapolate from. *)
+let merge_range ?scratch ~r ~s ~(p : Partition.t) ~product ~s_light_of_heavy_y
+    ~s_heavy_of_heavy_y ~rows lo hi =
+  let { stamps; buf } =
+    match scratch with Some sc -> sc | None -> merge_scratch ~s
+  in
+  let obs = Obs.recording () in
+  let light_scans = ref 0 and presented = ref 0 and produced = ref 0 in
+  for a = lo to hi - 1 do
+    let stamp = a in
+    Vec.clear buf;
+    let push c =
+      if Array.unsafe_get stamps c <> stamp then begin
+        Array.unsafe_set stamps c stamp;
+        Vec.push buf c
+      end
+    in
+    let scan zs =
+      if obs then begin
+        light_scans := !light_scans + Array.length zs;
+        presented := !presented + Array.length zs
+      end;
+      Array.iter push zs
+    in
+    let a_light = Relation.deg_src r a <= p.d2 in
+    Array.iter
+      (fun b ->
+        if a_light || Partition.is_light_y p b then
+          scan (Relation.adj_dst s b)
+        else
+          (* heavy a, heavy b: only the S- tuples (light z) are
+             joined here; heavy z is the matrix part's job *)
+          scan s_light_of_heavy_y.(b))
+      (Relation.adj_src r a);
+    (match product with
+    | Some m ->
+      let i = p.x_index.(a) in
+      if i >= 0 then begin
+        if obs then presented := !presented + Boolmat.row_nnz m i;
+        Boolmat.iter_row m i (fun l -> push p.heavy_z.(l))
+      end
+    | None ->
+      if not a_light then
+        Array.iter
+          (fun b ->
+            if not (Partition.is_light_y p b) then
+              scan s_heavy_of_heavy_y.(b))
+          (Relation.adj_src r a));
+    produced := !produced + Vec.length buf;
+    Vec.sort_dedup buf;
+    rows.(a) <- Vec.to_array buf
+  done;
+  if obs then begin
+    Obs.add Obs.C.light_probes !light_scans;
+    Obs.add Obs.C.stamp_misses !produced;
+    Obs.add Obs.C.stamp_hits (!presented - !produced)
+  end;
+  !produced
+
 let partitioned_project ~phases ~domains ~strategy ~r ~s (p : Partition.t) =
   let product =
     match strategy with
@@ -68,84 +161,13 @@ let partitioned_project ~phases ~domains ~strategy ~r ~s (p : Partition.t) =
   in
   phase phases "light-merge" (fun () ->
       Obs.span "two_path.light_merge" (fun () ->
-          (* For heavy y values, pre-split S's inverted list into its
-             light-z and heavy-z halves once (O(N)); the per-x loop below
-             would otherwise rescan whole inverted lists just to filter
-             them, degenerating to the full join when few values are
-             light. *)
-          let ny = max (Relation.dst_count r) (Relation.dst_count s) in
-          let s_light_of_heavy_y = Array.make ny [||] in
-          let s_heavy_of_heavy_y = Array.make ny [||] in
-          Array.iter
-            (fun b ->
-              if b < Relation.dst_count s then begin
-                let zs = Relation.adj_dst s b in
-                let light = Vec.create () and heavy = Vec.create () in
-                Array.iter
-                  (fun c ->
-                    if Relation.deg_src s c <= p.d2 then Vec.push light c
-                    else Vec.push heavy c)
-                  zs;
-                s_light_of_heavy_y.(b) <- Vec.to_array light;
-                s_heavy_of_heavy_y.(b) <- Vec.to_array heavy
-              end)
-            p.heavy_y;
+          let s_light_of_heavy_y, s_heavy_of_heavy_y = split_heavy_s ~r ~s p in
           let nx = Relation.src_count r in
           let rows = Array.make nx [||] in
           let worker lo hi =
-            let stamps = Array.make (Relation.src_count s) (-1) in
-            let buf = Vec.create ~capacity:256 () in
-            let obs = Obs.recording () in
-            let light_scans = ref 0 and presented = ref 0 and misses = ref 0 in
-            for a = lo to hi - 1 do
-              let stamp = a in
-              Vec.clear buf;
-              let push c =
-                if Array.unsafe_get stamps c <> stamp then begin
-                  Array.unsafe_set stamps c stamp;
-                  Vec.push buf c
-                end
-              in
-              let scan zs =
-                if obs then begin
-                  light_scans := !light_scans + Array.length zs;
-                  presented := !presented + Array.length zs
-                end;
-                Array.iter push zs
-              in
-              let a_light = Relation.deg_src r a <= p.d2 in
-              Array.iter
-                (fun b ->
-                  if a_light || Partition.is_light_y p b then
-                    scan (Relation.adj_dst s b)
-                  else
-                    (* heavy a, heavy b: only the S- tuples (light z) are
-                       joined here; heavy z is the matrix part's job *)
-                    scan s_light_of_heavy_y.(b))
-                (Relation.adj_src r a);
-              (match product with
-              | Some m ->
-                let i = p.x_index.(a) in
-                if i >= 0 then begin
-                  if obs then presented := !presented + Boolmat.row_nnz m i;
-                  Boolmat.iter_row m i (fun l -> push p.heavy_z.(l))
-                end
-              | None ->
-                if not a_light then
-                  Array.iter
-                    (fun b ->
-                      if not (Partition.is_light_y p b) then
-                        scan s_heavy_of_heavy_y.(b))
-                    (Relation.adj_src r a));
-              if obs then misses := !misses + Vec.length buf;
-              Vec.sort_dedup buf;
-              rows.(a) <- Vec.to_array buf
-            done;
-            if obs then begin
-              Obs.add Obs.C.light_probes !light_scans;
-              Obs.add Obs.C.stamp_misses !misses;
-              Obs.add Obs.C.stamp_hits (!presented - !misses)
-            end
+            ignore
+              (merge_range ~r ~s ~p ~product ~s_light_of_heavy_y
+                 ~s_heavy_of_heavy_y ~rows lo hi)
           in
           if domains <= 1 then worker 0 nx
           else begin
@@ -155,37 +177,270 @@ let partitioned_project ~phases ~domains ~strategy ~r ~s (p : Partition.t) =
           end;
           Pairs.of_rows_unchecked rows))
 
-let project ?(domains = 1) ?(strategy = Matrix) ?plan ~r ~s () =
-  Obs.span "two_path.project" (fun () ->
-      let t0 = Jp_util.Timer.now () in
-      let phases = ref [] in
-      let plan =
-        match plan with
-        | Some p -> p
-        | None ->
-          phase phases "plan" (fun () ->
-              Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s ())
-      in
-      let result =
-        match plan.decision with
-        | Optimizer.Wcoj ->
-          phase phases "wcoj" (fun () -> Jp_wcoj.Expand.project ~domains ~r ~s ())
-        | Optimizer.Partitioned { d1; d2 } ->
-          let p = phase phases "partition" (fun () -> Partition.make ~r ~s ~d1 ~d2) in
-          partitioned_project ~phases ~domains ~strategy ~r ~s p
-      in
-      if Obs.recording () then
-        Obs.record_plan ~label:"two_path"
-          ~decision:(Optimizer.decision_to_string plan.decision)
-          ~est_out:plan.est_out ~join_size:plan.join_size
-          ~est_seconds:plan.est_seconds ~actual_out:(Pairs.count result)
-          ~actual_seconds:(Jp_util.Timer.now () -. t0)
-          ~phases:(List.rev !phases);
-      result)
+(* ------------------------------------------------------------------ *)
+(* Guarded boolean evaluation (adaptive plan guards)                   *)
+(* ------------------------------------------------------------------ *)
 
-let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ~r ~s () =
+(* Matrix cells the partition would materialize (u·v + v·w + u·w) — the
+   intermediate-size quantity {!Guard.budget}'s [max_cells] bounds. *)
+let partition_cells (p : Partition.t) =
+  let u = Array.length p.heavy_x
+  and v = Array.length p.heavy_y
+  and w = Array.length p.heavy_z in
+  (u * v) + (v * w) + (u * w)
+
+(* Supervised execution of [plan0].  Checkpoints (all once per chunk or
+   phase, never per tuple):
+
+   - entry: a zero time budget degrades before any work;
+   - Wcoj probe: after [probe_rows] rows, extrapolate |OUT| and re-plan if
+     it diverges from the estimate, or if a clean re-plan prefers the
+     matrix path by more than the divergence factor (an mm-cost
+     misestimate leaves est_out honest but the decision wrong) — a switch
+     keeps the rows already expanded and runs the new plan on the rest;
+   - post-partition, pre-MM: the cells budget vetoes the matrices
+     (combinatorial heavy part instead), and the plan's est_seconds is
+     compared against the honest cost of the chosen thresholds;
+   - per-chunk during the light merge (single-domain only): wall-clock
+     budget and |OUT| extrapolation; a mid-merge re-plan resumes the new
+     plan at the current row, keeping all finished rows.
+
+   Re-planning is always done with clean (un-injected) statistics and
+   bounded by the guard's fuel, so the recursion terminates. *)
+let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
+  let module Guard = Jp_adaptive.Guard in
+  let cfg = Guard.config g in
+  let nx = Relation.src_count r in
+  (* Effective chunk sizes: bounded by the config but scaled to the x
+     domain, so dense datasets (few, large sets) still get a handful of
+     checkpoints instead of finishing inside one chunk. *)
+  let check_chunk = max 64 (min cfg.Guard.check_every (nx / 8)) in
+  let probe = max 64 (min cfg.Guard.probe_rows (nx / 4)) in
+  let rows = Array.make nx [||] in
+  let produced = ref 0 in
+  let scratch = lazy (merge_scratch ~s) in
+  let strat = ref strategy in
+  let expand_into lo hi =
+    if hi > lo then
+      phase phases "wcoj" (fun () ->
+          let xs = Array.init (hi - lo) (fun i -> lo + i) in
+          let out = Jp_wcoj.Expand.project ~domains ~xs ~r ~s () in
+          for a = lo to hi - 1 do
+            let row = Pairs.row out a in
+            rows.(a) <- row;
+            produced := !produced + Array.length row
+          done)
+  in
+  let replan est_out =
+    phase phases "replan" (fun () ->
+        Guard.note_replan g;
+        Optimizer.plan_prepared ~domains ~kind:Jp_matrix.Cost.Boolean ~est_out
+          (Lazy.force prep) ())
+  in
+  let rec run plan lo =
+    if lo < nx then
+      match plan.Optimizer.decision with
+      | Optimizer.Wcoj -> run_wcoj plan lo
+      | Optimizer.Partitioned { d1; d2 } -> run_partitioned plan ~d1 ~d2 lo
+  and run_wcoj plan lo =
+    let probe_hi = min nx (lo + probe) in
+    expand_into lo probe_hi;
+    if probe_hi < nx then begin
+      (* Wcoj already is the safe path: a blown budget only marks the
+         outcome — the remaining rows still have to be expanded. *)
+      (match Guard.check_budget g ~cells:0 with
+      | Guard.Degrade -> Guard.note_degrade g
+      | Guard.Continue | Guard.Replan -> ());
+      let obs_out = max 1 (!produced * nx / probe_hi) in
+      match
+        Guard.check_estimate g
+          ~est:(float_of_int plan.Optimizer.est_out)
+          ~observed:(float_of_int obs_out)
+      with
+      | Guard.Replan -> run (replan obs_out) probe_hi
+      | (Guard.Continue | Guard.Degrade) when Guard.can_replan g ->
+        let np =
+          Optimizer.plan_prepared ~domains ~kind:Jp_matrix.Cost.Boolean
+            ~est_out:obs_out (Lazy.force prep) ()
+        in
+        let wcoj_cost =
+          Optimizer.estimate_cost_prepared ~domains
+            ~kind:Jp_matrix.Cost.Boolean (Lazy.force prep) Optimizer.Wcoj
+        in
+        (match np.Optimizer.decision with
+        | Optimizer.Partitioned _
+          when Guard.check_estimate g ~est:np.Optimizer.est_seconds
+                 ~observed:wcoj_cost
+               = Guard.Replan ->
+          Guard.note_replan g;
+          run np probe_hi
+        | _ -> expand_into probe_hi nx)
+      | Guard.Continue | Guard.Degrade -> expand_into probe_hi nx
+    end
+  and run_partitioned plan ~d1 ~d2 lo =
+    let p = phase phases "partition" (fun () -> Partition.make ~r ~s ~d1 ~d2) in
+    (match Guard.check_budget g ~cells:(partition_cells p) with
+    | Guard.Degrade ->
+      (* No room for the matrices: heavy part via the combinatorial
+         expansion, which materializes nothing. *)
+      Guard.note_degrade g;
+      strat := Combinatorial
+    | Guard.Continue | Guard.Replan -> ());
+    let replan_on_cost =
+      !strat = Matrix && Guard.can_replan g
+      &&
+      let honest =
+        Optimizer.estimate_cost_prepared ~domains ~kind:Jp_matrix.Cost.Boolean
+          (Lazy.force prep) (Optimizer.Partitioned { d1; d2 })
+      in
+      Guard.check_estimate g ~est:plan.Optimizer.est_seconds ~observed:honest
+      = Guard.Replan
+    in
+    if replan_on_cost then
+      run (replan (Estimator.sampled ~r ~s ())) lo
+    else merge_partitioned plan ~p lo
+  and merge_partitioned plan ~p lo =
+    let product =
+      match !strat with
+      | Matrix ->
+        Some (phase phases "heavy-mm" (fun () -> heavy_matrices ~domains ~r ~s p))
+      | Combinatorial -> None
+    in
+    let resume =
+      phase phases "light-merge" (fun () ->
+          Obs.span "two_path.light_merge" (fun () ->
+              let s_light_of_heavy_y, s_heavy_of_heavy_y = split_heavy_s ~r ~s p in
+              if domains > 1 then begin
+                (* Worker domains race past any sequential checkpoint, so
+                   parallel merges keep only the plan-time and pre-MM
+                   checks and run the range in one shot. *)
+                let worker l h =
+                  ignore
+                    (merge_range ~r ~s ~p ~product ~s_light_of_heavy_y
+                       ~s_heavy_of_heavy_y ~rows l h)
+                in
+                let per = (nx - lo + domains - 1) / domains in
+                Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo
+                  ~hi:nx worker;
+                for a = lo to nx - 1 do
+                  produced := !produced + Array.length rows.(a)
+                done;
+                None
+              end
+              else begin
+                let resume = ref None in
+                let i = ref lo in
+                while !resume = None && !i < nx do
+                  let hi = min nx (!i + check_chunk) in
+                  produced :=
+                    !produced
+                    + merge_range ~scratch:(Lazy.force scratch) ~r ~s ~p
+                        ~product ~s_light_of_heavy_y ~s_heavy_of_heavy_y ~rows
+                        !i hi;
+                  i := hi;
+                  if !i < nx then begin
+                    (match Guard.check_budget g ~cells:0 with
+                    | Guard.Degrade ->
+                      (* Time blown mid-merge: the matrices are already
+                         built and nothing cheaper remains, so only the
+                         outcome is recorded. *)
+                      Guard.note_degrade g
+                    | Guard.Continue | Guard.Replan -> ());
+                    let obs_out = max 1 (!produced * nx / !i) in
+                    match
+                      Guard.check_estimate g
+                        ~est:(float_of_int plan.Optimizer.est_out)
+                        ~observed:(float_of_int obs_out)
+                    with
+                    | Guard.Replan ->
+                      let np = replan obs_out in
+                      if
+                        np.Optimizer.decision
+                        <> Optimizer.Partitioned { d1 = p.Partition.d1; d2 = p.Partition.d2 }
+                      then resume := Some (np, !i)
+                    | Guard.Continue | Guard.Degrade -> ()
+                  end
+                done;
+                !resume
+              end))
+    in
+    match resume with Some (np, at) -> run np at | None -> ()
+  in
+  (* Entry checkpoint: a zero (or already blown) time budget forbids
+     matrix plans outright. *)
+  (match Guard.check_budget g ~cells:0 with
+  | Guard.Degrade ->
+    Guard.note_degrade g;
+    strat := Combinatorial
+  | Guard.Continue | Guard.Replan -> ());
+  run plan0 0;
+  Pairs.of_rows_unchecked rows
+
+let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ~r ~s () =
+  match guard with
+  | Some gcfg ->
+    let module Guard = Jp_adaptive.Guard in
+    let module Inject = Jp_adaptive.Inject in
+    Obs.span "two_path.project" (fun () ->
+        let t0 = Jp_util.Timer.now () in
+        let phases = ref [] in
+        let g = Guard.start gcfg in
+        let inj = Guard.inject g in
+        (* Built at most once per invocation: the initial plan forces it,
+           and every later checkpoint re-plan reuses it. *)
+        let prep = lazy (Optimizer.prepare ~r ~s) in
+        let plan =
+          match plan with
+          | Some p -> p
+          | None ->
+            phase phases "plan" (fun () ->
+                Optimizer.plan_prepared ~domains ~kind:Jp_matrix.Cost.Boolean
+                  ~est_out:(Inject.out inj (Estimator.estimate ~r ~s))
+                  ~mm_cost_scale:inj.Inject.mm_factor (Lazy.force prep) ())
+        in
+        let result =
+          guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan
+        in
+        if Obs.recording () then
+          Obs.record_plan ~label:"two_path" ~replanned:(Guard.replanned g)
+            ~degraded:(Guard.degraded g)
+            ~decision:(Optimizer.decision_to_string plan.decision)
+            ~est_out:plan.est_out ~join_size:plan.join_size
+            ~est_seconds:plan.est_seconds ~actual_out:(Pairs.count result)
+            ~actual_seconds:(Jp_util.Timer.now () -. t0)
+            ~phases:(List.rev !phases) ();
+        result)
+  | None ->
+    Obs.span "two_path.project" (fun () ->
+        let t0 = Jp_util.Timer.now () in
+        let phases = ref [] in
+        let plan =
+          match plan with
+          | Some p -> p
+          | None ->
+            phase phases "plan" (fun () ->
+                Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s ())
+        in
+        let result =
+          match plan.decision with
+          | Optimizer.Wcoj ->
+            phase phases "wcoj" (fun () -> Jp_wcoj.Expand.project ~domains ~r ~s ())
+          | Optimizer.Partitioned { d1; d2 } ->
+            let p = phase phases "partition" (fun () -> Partition.make ~r ~s ~d1 ~d2) in
+            partitioned_project ~phases ~domains ~strategy ~r ~s p
+        in
+        if Obs.recording () then
+          Obs.record_plan ~label:"two_path"
+            ~decision:(Optimizer.decision_to_string plan.decision)
+            ~est_out:plan.est_out ~join_size:plan.join_size
+            ~est_seconds:plan.est_seconds ~actual_out:(Pairs.count result)
+            ~actual_seconds:(Jp_util.Timer.now () -. t0)
+            ~phases:(List.rev !phases) ();
+        result)
+
+let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ?guard ~r ~s () =
   let plan = Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s () in
-  (project ~domains ~strategy ~plan ~r ~s (), plan)
+  (project ~domains ~strategy ~plan ?guard ~r ~s (), plan)
 
 (* ------------------------------------------------------------------ *)
 (* Exact-count evaluation (partition on the join variable only)        *)
@@ -193,7 +448,10 @@ let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ~r ~s () =
 
 (* A pair's witnesses can be split between light and heavy y values, so
    counts from the expansion and from the count-matrix product are summed
-   per pair before freezing the row. *)
+   per pair before freezing the row.  Also returns whether the count
+   matrices were actually used — [false] means the cell cap (or an
+   explicit [~matrix:false]) forced the combinatorial fallback, which the
+   guarded path records as a degradation. *)
 let counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix ~cap =
   let ny = max (Relation.dst_count r) (Relation.dst_count s) in
   let deg_ry y = if y < Relation.dst_count r then Relation.deg_dst r y else 0 in
@@ -309,32 +567,107 @@ let counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix ~cap =
             Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0
               ~hi:nx worker
           end;
-          Counted_pairs.of_rows_unchecked rows))
+          (Counted_pairs.of_rows_unchecked rows, use_matrix)))
 
-let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan
+let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard
     ?(matrix_cell_cap = 200_000_000) ~r ~s () =
   Obs.span "two_path.project_counts" (fun () ->
       let t0 = Jp_util.Timer.now () in
       let phases = ref [] in
+      let g =
+        match guard with
+        | Some cfg -> Some (Jp_adaptive.Guard.start cfg)
+        | None -> None
+      in
+      let prep = lazy (Optimizer.prepare ~r ~s) in
       let plan =
-        match plan with
-        | Some p -> p
-        | None -> phase phases "plan" (fun () -> Optimizer.plan_counts ~domains ~r ~s ())
+        match (plan, g) with
+        | Some p, _ -> p
+        | None, None ->
+          phase phases "plan" (fun () -> Optimizer.plan_counts ~domains ~r ~s ())
+        | None, Some g ->
+          (* plan_counts' thresholds do not depend on est_out (d2 is
+             pinned), so only the mm-cost component of the injection can
+             mislead it — and the honesty checkpoint below catches it. *)
+          let inj = Jp_adaptive.Guard.inject g in
+          phase phases "plan" (fun () ->
+              Optimizer.plan_counts_prepared ~domains
+                ~est_out:(Jp_adaptive.Inject.out inj (Estimator.estimate ~r ~s))
+                ~mm_cost_scale:inj.Jp_adaptive.Inject.mm_factor
+                (Lazy.force prep) ())
+      in
+      (* Guard checkpoints (counts flavour): entry/pre-MM budgets degrade
+         the heavy step to the combinatorial merge; a cost-honesty
+         checkpoint re-plans a Partitioned decision whose est_seconds was
+         injected.  There is no chunked |OUT| checkpoint here because
+         plan_counts' decision is insensitive to est_out. *)
+      let module Guard = Jp_adaptive.Guard in
+      let plan, strategy, cap =
+        match g with
+        | None -> (plan, strategy, matrix_cell_cap)
+        | Some g ->
+          let cap =
+            match (Guard.config g).Guard.budget.Guard.max_cells with
+            | Some limit -> min matrix_cell_cap (limit / 3)
+            | None -> matrix_cell_cap
+          in
+          let strategy =
+            match Guard.check_budget g ~cells:0 with
+            | Guard.Degrade ->
+              Guard.note_degrade g;
+              Combinatorial
+            | Guard.Continue | Guard.Replan -> strategy
+          in
+          let plan =
+            match plan.Optimizer.decision with
+            | Optimizer.Partitioned { d1; d2 }
+              when strategy = Matrix && Guard.can_replan g ->
+              let honest =
+                Optimizer.estimate_cost_prepared ~domains
+                  ~kind:Jp_matrix.Cost.Count ~counts_mode:true
+                  (Lazy.force prep)
+                  (Optimizer.Partitioned { d1; d2 })
+              in
+              (match
+                 Guard.check_estimate g ~est:plan.Optimizer.est_seconds
+                   ~observed:honest
+               with
+              | Guard.Replan ->
+                phase phases "replan" (fun () ->
+                    Guard.note_replan g;
+                    Optimizer.plan_counts_prepared ~domains
+                      ~est_out:(Estimator.sampled ~r ~s ())
+                      (Lazy.force prep) ())
+              | Guard.Continue | Guard.Degrade -> plan)
+            | _ -> plan
+          in
+          (plan, strategy, cap)
       in
       let result =
-        match (plan.decision, strategy) with
+        match (plan.Optimizer.decision, strategy) with
         | Optimizer.Wcoj, _ | _, Combinatorial ->
           phase phases "wcoj" (fun () -> Jp_wcoj.Expand.project_counts ~domains ~r ~s ())
         | Optimizer.Partitioned { d1; d2 = _ }, Matrix ->
-          counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix:true
-            ~cap:matrix_cell_cap
+          let result, used_matrix =
+            counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix:true ~cap
+          in
+          (match g with
+          | Some g when not used_matrix -> Guard.note_degrade g
+          | _ -> ());
+          result
       in
-      if Obs.recording () then
-        Obs.record_plan ~label:"two_path.counts"
-          ~decision:(Optimizer.decision_to_string plan.decision)
-          ~est_out:plan.est_out ~join_size:plan.join_size
-          ~est_seconds:plan.est_seconds
+      if Obs.recording () then begin
+        let replanned, degraded =
+          match g with
+          | Some g -> (Guard.replanned g, Guard.degraded g)
+          | None -> (false, false)
+        in
+        Obs.record_plan ~label:"two_path.counts" ~replanned ~degraded
+          ~decision:(Optimizer.decision_to_string plan.Optimizer.decision)
+          ~est_out:plan.Optimizer.est_out ~join_size:plan.Optimizer.join_size
+          ~est_seconds:plan.Optimizer.est_seconds
           ~actual_out:(Counted_pairs.count result)
           ~actual_seconds:(Jp_util.Timer.now () -. t0)
-          ~phases:(List.rev !phases);
+          ~phases:(List.rev !phases) ()
+      end;
       result)

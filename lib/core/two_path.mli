@@ -29,18 +29,29 @@ val project :
   ?domains:int ->
   ?strategy:strategy ->
   ?plan:Optimizer.plan ->
+  ?guard:Jp_adaptive.Guard.config ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
   Pairs.t
 (** π{_xz}(R ⋈ S).  Without [plan], Algorithm 3 plans the query first
     (including the possible decision to run the plain worst-case-optimal
-    join). *)
+    join).
+
+    With [guard], execution is supervised by {!Jp_adaptive.Guard}: the
+    initial plan sees the guard's injected misestimation, and runtime
+    checkpoints (Wcoj output probe, post-partition pre-MM cost/cells
+    check, per-chunk light-merge extrapolation when [domains = 1]) may
+    re-plan with observed statistics — switching Wcoj ⇄ Partitioned
+    mid-query while keeping rows already produced — or degrade matrix
+    plans to the combinatorial heavy part when a budget is exhausted.
+    Without [guard] the code path is exactly the unguarded one. *)
 
 val project_counts :
   ?domains:int ->
   ?strategy:strategy ->
   ?plan:Optimizer.plan ->
+  ?guard:Jp_adaptive.Guard.config ->
   ?matrix_cell_cap:int ->
   r:Relation.t ->
   s:Relation.t ->
@@ -52,14 +63,24 @@ val project_counts :
     summed — see DESIGN.md); plans should come from
     {!Optimizer.plan_counts}.  If the count matrices would exceed
     [matrix_cell_cap] cells (default 2·10⁸) the heavy part silently falls
-    back to the combinatorial strategy. *)
+    back to the combinatorial strategy.
+
+    [guard] adds the entry/pre-MM budget checks and the cost-honesty
+    re-plan checkpoint; the guard's cells budget additionally tightens
+    the cell cap (a third of [max_cells] per matrix, so the three
+    products stay within the budget).  plan_counts' thresholds do not
+    depend on the |OUT| estimate, so there is no chunked output
+    checkpoint in this variant. *)
 
 val project_with_plan_info :
   ?domains:int ->
   ?strategy:strategy ->
+  ?guard:Jp_adaptive.Guard.config ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
   Pairs.t * Optimizer.plan
 (** {!project} that also returns the plan it chose (for EXPLAIN-style
-    reporting in the CLI and benches). *)
+    reporting in the CLI and benches).  The returned plan is the
+    un-injected one it starts from; with [guard] the execution may still
+    re-plan away from it. *)

@@ -83,6 +83,7 @@ let render_counters () =
 
 type event = {
   tid : int;
+  seq : int; (* recording order, breaks timestamp ties deterministically *)
   path : string list; (* innermost first *)
   t0 : float;
   t1 : float;
@@ -91,6 +92,8 @@ type event = {
 let events_lock = Mutex.create ()
 
 let events : event list ref = ref []
+
+let event_seq = ref 0
 
 (* Each domain keeps its own stack of open span names, so worker-domain
    spans nest under their own roots instead of racing on a global. *)
@@ -107,7 +110,9 @@ let timed_span name f =
       let t1 = Timer.now () in
       stack := (match !stack with _ :: tl -> tl | [] -> []);
       Mutex.lock events_lock;
-      events := { tid = (Domain.self () :> int); path; t0; t1 } :: !events;
+      let seq = !event_seq in
+      Stdlib.incr event_seq;
+      events := { tid = (Domain.self () :> int); seq; path; t0; t1 } :: !events;
       Mutex.unlock events_lock;
       t1 -. t0
     in
@@ -126,7 +131,7 @@ let span_events () =
   Mutex.lock events_lock;
   let evs = !events in
   Mutex.unlock events_lock;
-  List.sort (fun a b -> compare (a.t0, a.t1) (b.t0, b.t1)) evs
+  List.sort (fun a b -> compare (a.t0, a.t1, a.seq) (b.t0, b.t1, b.seq)) evs
 
 (* Aggregated view: events sharing a call path collapse into one node
    (summed time, call count); children keep first-call order. *)
@@ -239,6 +244,8 @@ type plan_actual = {
   est_seconds : float;
   actual_out : int;
   actual_seconds : float;
+  replanned : bool;
+  degraded : bool;
   phases : (string * float) list;
 }
 
@@ -246,8 +253,8 @@ let plans_lock = Mutex.create ()
 
 let plans : plan_actual list ref = ref []
 
-let record_plan ~label ~decision ~est_out ~join_size ~est_seconds ~actual_out
-    ~actual_seconds ~phases =
+let record_plan ?(replanned = false) ?(degraded = false) ~label ~decision
+    ~est_out ~join_size ~est_seconds ~actual_out ~actual_seconds ~phases () =
   if !on then begin
     let p =
       {
@@ -258,6 +265,8 @@ let record_plan ~label ~decision ~est_out ~join_size ~est_seconds ~actual_out
         est_seconds;
         actual_out;
         actual_seconds;
+        replanned;
+        degraded;
         phases;
       }
     in
@@ -279,6 +288,13 @@ let ratio actual est =
 let opt_int n = if n < 0 then "-" else Tablefmt.big_int n
 
 let opt_seconds s = if Float.is_nan s || s < 0.0 then "-" else Tablefmt.seconds s
+
+let adapt_string ~replanned ~degraded =
+  match (replanned, degraded) with
+  | false, false -> "-"
+  | true, false -> "replan"
+  | false, true -> "degrade"
+  | true, true -> "replan+degrade"
 
 let render_plans () =
   match plan_records () with
@@ -303,6 +319,7 @@ let render_plans () =
             opt_seconds p.est_seconds;
             opt_seconds p.actual_seconds;
             ratio p.actual_seconds p.est_seconds;
+            adapt_string ~replanned:p.replanned ~degraded:p.degraded;
             phases;
           ])
         records
@@ -318,6 +335,7 @@ let render_plans () =
           "est";
           "actual";
           "t err";
+          "adapt";
           "phases";
         ]
       ~rows
@@ -332,6 +350,7 @@ let reset () =
   Hook.reset ();
   Mutex.lock events_lock;
   events := [];
+  event_seq := 0;
   Mutex.unlock events_lock;
   Mutex.lock plans_lock;
   plans := [];

@@ -125,12 +125,18 @@ type plan_actual = {
   est_seconds : float;  (** optimizer cost estimate; [nan] = none *)
   actual_out : int;  (** measured |OUT| *)
   actual_seconds : float;  (** measured wall seconds *)
+  replanned : bool;
+      (** an adaptive guard re-planned mid-query with observed statistics *)
+  degraded : bool;
+      (** a resource budget forced degradation to the safe WCOJ path *)
   phases : (string * float) list;  (** per-phase seconds, from spans *)
 }
 (** One engine invocation: what {!Joinproj.Optimizer.plan} predicted next
     to what actually happened — the feedback loop the cost model needs. *)
 
 val record_plan :
+  ?replanned:bool ->
+  ?degraded:bool ->
   label:string ->
   decision:string ->
   est_out:int ->
@@ -139,8 +145,10 @@ val record_plan :
   actual_out:int ->
   actual_seconds:float ->
   phases:(string * float) list ->
+  unit ->
   unit
-(** Append a record (dropped while recording is off). *)
+(** Append a record (dropped while recording is off).  [replanned] and
+    [degraded] (default [false]) carry the adaptive-guard outcome. *)
 
 val plan_records : unit -> plan_actual list
 (** In recording order. *)

@@ -2,9 +2,9 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Vec = Jp_util.Vec
 
-let join ?(domains = 1) r =
+let join ?(domains = 1) ?guard r =
   Jp_obs.span "scj.mm_join" (fun () ->
-      let counted = Joinproj.Two_path.project_counts ~domains ~r ~s:r () in
+      let counted = Joinproj.Two_path.project_counts ~domains ?guard ~r ~s:r () in
       Jp_obs.span "scj.containment_filter" (fun () ->
           let rows =
             Array.init (Relation.src_count r) (fun _ -> Vec.create ~capacity:0 ())

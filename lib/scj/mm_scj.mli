@@ -8,5 +8,8 @@
 module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 
-val join : ?domains:int -> Relation.t -> Pairs.t
-(** Directed containment pairs (a, b): set a ⊆ set b, a ≠ b. *)
+val join :
+  ?domains:int -> ?guard:Jp_adaptive.Guard.config -> Relation.t -> Pairs.t
+(** Directed containment pairs (a, b): set a ⊆ set b, a ≠ b.  [guard]
+    supervises the underlying counted join-project
+    (see {!Joinproj.Two_path.project_counts}). *)

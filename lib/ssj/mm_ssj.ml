@@ -2,12 +2,12 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Counted_pairs = Jp_relation.Counted_pairs
 
-let join_counted ?(domains = 1) r =
+let join_counted ?(domains = 1) ?guard r =
   Jp_obs.span "ssj.mm_counted" (fun () ->
-      Joinproj.Two_path.project_counts ~domains ~r ~s:r ())
+      Joinproj.Two_path.project_counts ~domains ?guard ~r ~s:r ())
 
-let join ?(domains = 1) ~c r =
+let join ?(domains = 1) ?guard ~c r =
   if c < 1 then invalid_arg "Mm_ssj.join: c must be >= 1";
   Jp_obs.span "ssj.mm_join" (fun () ->
-      let counted = join_counted ~domains r in
+      let counted = join_counted ~domains ?guard r in
       Jp_obs.span "ssj.threshold" (fun () -> Common.upper_pairs counted ~c))

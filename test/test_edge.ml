@@ -106,6 +106,25 @@ let test_guards () =
     (Invalid_argument "Overlap_tree.similar_pairs: c must be >= 1") (fun () ->
       ignore (Jp_ssj.Overlap_tree.similar_pairs ~c:0 singleton))
 
+let test_guarded_degenerate () =
+  (* degenerate shapes through the guarded entry point: empty input with a
+     zero budget (immediate degradation), singleton, and an all-heavy hub
+     under a wild overestimate *)
+  let module Guard = Jp_adaptive.Guard in
+  let zero_budget = Guard.with_budget_ms 0.0 Guard.default in
+  Alcotest.(check int) "guarded empty join" 0
+    (Pairs.count (Two_path.project ~guard:zero_budget ~r:empty ~s:empty ()));
+  let p = Two_path.project ~guard:Guard.default ~r:singleton ~s:singleton () in
+  Alcotest.(check (list (pair int int))) "guarded self pair" [ (0, 0) ]
+    (Pairs.to_list p);
+  let n = 30 in
+  let r = hub n in
+  let overestimate =
+    Guard.with_inject (Jp_adaptive.Inject.uniform 100.0) Guard.default
+  in
+  Alcotest.(check int) "guarded hub square" (n * n)
+    (Pairs.count (Two_path.project ~guard:overestimate ~r ~s:r ()))
+
 let test_optimizer_degenerate () =
   (* planning must never fail on degenerate inputs *)
   List.iter
@@ -133,6 +152,7 @@ let suite =
     Alcotest.test_case "scj empty/single" `Quick test_scj_empty_and_single_element;
     Alcotest.test_case "bsi empty workload" `Quick test_bsi_empty_workload;
     Alcotest.test_case "guards" `Quick test_guards;
+    Alcotest.test_case "guarded degenerate" `Quick test_guarded_degenerate;
     Alcotest.test_case "optimizer degenerate" `Quick test_optimizer_degenerate;
     Alcotest.test_case "estimator degenerate" `Quick test_estimator_degenerate;
   ]

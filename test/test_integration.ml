@@ -92,6 +92,99 @@ let test_bsi_strategies_agree () =
   let comb = Jp_bsi.Bsi.answer_batch ~strategy:Jp_bsi.Bsi.Combinatorial ~r ~s:r queries in
   Alcotest.(check bool) "mm = combinatorial answers" true (mm = comb)
 
+(* Guarded variants join the same cross-engine matrix: under every
+   injected misestimation factor the guard may re-route mid-query, but
+   |OUT| (and the pairs themselves) must stay those of the unguarded
+   engines above. *)
+let guard_factors = [ 0.01; 1.0; 100.0 ]
+
+let guard_of f =
+  Jp_adaptive.Guard.with_inject (Jp_adaptive.Inject.uniform f)
+    Jp_adaptive.Guard.default
+
+let test_guarded_two_path_agrees () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      let reference = Joinproj.Two_path.project ~r ~s:r () in
+      List.iter
+        (fun f ->
+          let guard = guard_of f in
+          List.iter
+            (fun (engine, out) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s x%g on %s" engine f (Presets.to_string name))
+                true
+                (Pairs.equal reference out))
+            [
+              ("guarded mm", Joinproj.Two_path.project ~guard ~r ~s:r ());
+              ( "guarded nonmm",
+                Joinproj.Two_path.project
+                  ~strategy:Joinproj.Two_path.Combinatorial ~guard ~r ~s:r () );
+            ])
+        guard_factors)
+    Presets.all
+
+let test_guarded_star_agrees () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      let rels = [| r; r; r |] in
+      let reference = Joinproj.Star.project rels in
+      List.iter
+        (fun (label, guard) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s" label (Presets.to_string name))
+            true
+            (Jp_relation.Tuples.equal reference
+               (Joinproj.Star.project ~guard rels)))
+        [
+          ("guarded", Jp_adaptive.Guard.default);
+          ("budget 0", Jp_adaptive.Guard.with_budget_ms 0.0 Jp_adaptive.Guard.default);
+        ])
+    [ Presets.Dblp; Presets.Words ]
+
+let test_guarded_ssj_agrees () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      let reference = Jp_ssj.Mm_ssj.join ~c:2 r in
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "guarded ssj x%g on %s" f (Presets.to_string name))
+            true
+            (Pairs.equal reference (Jp_ssj.Mm_ssj.join ~guard:(guard_of f) ~c:2 r)))
+        guard_factors)
+    [ Presets.Dblp; Presets.Jokes; Presets.Image ]
+
+let test_guarded_scj_agrees () =
+  List.iter
+    (fun name ->
+      let r = small name in
+      let reference = Jp_scj.Mm_scj.join r in
+      List.iter
+        (fun f ->
+          Alcotest.(check bool)
+            (Printf.sprintf "guarded scj x%g on %s" f (Presets.to_string name))
+            true
+            (Pairs.equal reference (Jp_scj.Mm_scj.join ~guard:(guard_of f) r)))
+        guard_factors)
+    [ Presets.Roadnet; Presets.Words ]
+
+let test_guarded_bsi_agrees () =
+  let r = small Presets.Jokes in
+  let n = Relation.src_count r in
+  let queries = Jp_workload.Generate.batch_queries ~seed:3 ~count:200 ~nx:n ~nz:n () in
+  let reference = Jp_bsi.Bsi.answer_batch ~r ~s:r queries in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "guarded bsi x%g" f)
+        true
+        (Jp_bsi.Bsi.answer_batch ~guard:(guard_of f) ~r ~s:r queries = reference))
+    guard_factors
+
 let test_ordered_consistent_with_unordered () =
   let r = small Presets.Words in
   let c = 2 in
@@ -107,4 +200,9 @@ let suite =
     Alcotest.test_case "star strategies agree" `Quick test_star_strategies_agree_on_presets;
     Alcotest.test_case "bsi strategies agree" `Quick test_bsi_strategies_agree;
     Alcotest.test_case "ordered vs unordered" `Quick test_ordered_consistent_with_unordered;
+    Alcotest.test_case "guarded two-path agrees" `Quick test_guarded_two_path_agrees;
+    Alcotest.test_case "guarded star agrees" `Quick test_guarded_star_agrees;
+    Alcotest.test_case "guarded ssj agrees" `Quick test_guarded_ssj_agrees;
+    Alcotest.test_case "guarded scj agrees" `Quick test_guarded_scj_agrees;
+    Alcotest.test_case "guarded bsi agrees" `Quick test_guarded_bsi_agrees;
   ]

@@ -20,5 +20,6 @@ let () =
       ("io", Test_io.suite);
       ("dynamic", Test_dynamic.suite);
       ("obs", Test_obs.suite);
+      ("adaptive", Test_adaptive.suite);
       ("properties", Test_properties.suite);
     ]

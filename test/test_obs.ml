@@ -87,7 +87,7 @@ let test_disabled_noop () =
   Alcotest.(check (float 0.0)) "no time measured" 0.0 dt;
   Alcotest.(check int) "no events recorded" 0 (List.length (Obs.span_tree ()));
   Obs.record_plan ~label:"off" ~decision:"wcoj" ~est_out:1 ~join_size:1
-    ~est_seconds:0.0 ~actual_out:1 ~actual_seconds:0.0 ~phases:[];
+    ~est_seconds:0.0 ~actual_out:1 ~actual_seconds:0.0 ~phases:[] ();
   Alcotest.(check int) "plan records dropped" 0
     (List.length (Obs.plan_records ()))
 

@@ -165,6 +165,64 @@ let prop_bsi_units_bounded =
       && stats.Jp_bsi.Bsi.max_delay >= stats.Jp_bsi.Bsi.avg_delay
       && stats.Jp_bsi.Bsi.units_needed >= 0.0)
 
+let prop_theoretical_thresholds_bounded =
+  QCheck.Test.make ~name:"theoretical thresholds stay within [1, N]" ~count:200
+    QCheck.(pair (int_range 1 1_000_000) (int_range 1 1_000_000_000))
+    (fun (n, out) ->
+      let d1, d2 = Joinproj.Optimizer.theoretical_thresholds ~n ~out in
+      1 <= d1 && d1 <= n && 1 <= d2 && d2 <= n)
+
+let prop_theoretical_d2_antitone =
+  (* Both |OUT| regimes give a d2 that decreases in |OUT| (Case 1:
+     N/|OUT|^2/3, Case 2: (2N^2/(N+|OUT|))^1/3, continuous at the
+     boundary); integer rounding can perturb by at most one. *)
+  QCheck.Test.make ~name:"theoretical d2 antitone in |OUT|" ~count:200
+    QCheck.(
+      triple (int_range 1 100_000) (int_range 1 10_000_000)
+        (int_range 1 10_000_000))
+    (fun (n, o1, o2) ->
+      let lo = min o1 o2 and hi = max o1 o2 in
+      let _, d2_lo = Joinproj.Optimizer.theoretical_thresholds ~n ~out:lo in
+      let _, d2_hi = Joinproj.Optimizer.theoretical_thresholds ~n ~out:hi in
+      d2_hi <= d2_lo + 1)
+
+let prop_plan_deterministic =
+  QCheck.Test.make
+    ~name:"plan deterministic, cost non-negative, prepared path agrees"
+    ~count:40 QCheck.small_int
+    (fun seed ->
+      let module Optimizer = Joinproj.Optimizer in
+      let r = Gen.random_relation ~seed:(seed + 12_000) ~nx:20 ~ny:15 ~edges:120 () in
+      let s = Gen.skewed_relation ~seed:(seed + 12_500) ~nx:18 ~ny:15 ~edges:110 () in
+      let p1 = Optimizer.plan ~r ~s () in
+      let p2 = Optimizer.plan ~r ~s () in
+      let prep = Optimizer.prepare ~r ~s in
+      let p3 = Optimizer.plan_prepared prep () in
+      let c1 = Optimizer.estimate_cost ~r ~s p1.Optimizer.decision in
+      let c2 = Optimizer.estimate_cost_prepared prep p1.Optimizer.decision in
+      p1 = p2 && p1 = p3
+      && p1.Optimizer.est_seconds >= 0.0
+      && c1 >= 0.0 && c1 = c2
+      && Optimizer.plan_counts ~r ~s () = Optimizer.plan_counts_prepared prep ())
+
+let prop_guard_replan_checksum =
+  (* Whatever the injected misestimation makes the guard do mid-query
+     (re-plan Wcoj <-> Partitioned, degrade under a zero budget), the
+     produced pairs must equal the unguarded engine's. *)
+  QCheck.Test.make ~name:"guard re-planning never changes the result" ~count:40
+    QCheck.(pair small_int (oneofl [ 0.01; 1.0; 100.0 ]))
+    (fun (seed, factor) ->
+      let module Guard = Jp_adaptive.Guard in
+      let r = Gen.skewed_relation ~seed:(seed + 13_000) ~nx:40 ~ny:20 ~edges:300 () in
+      let s = Gen.skewed_relation ~seed:(seed + 13_500) ~nx:35 ~ny:20 ~edges:280 () in
+      let reference = Joinproj.Two_path.project ~r ~s () in
+      let injected =
+        Guard.with_inject (Jp_adaptive.Inject.out_only factor) Guard.default
+      in
+      let budgeted = Guard.with_budget_ms 0.0 Guard.default in
+      Pairs.equal reference (Joinproj.Two_path.project ~guard:injected ~r ~s ())
+      && Pairs.equal reference (Joinproj.Two_path.project ~guard:budgeted ~r ~s ()))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_intersect_many;
@@ -179,4 +237,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_scj_subset_of_ssj;
     QCheck_alcotest.to_alcotest prop_star_monotone_in_thresholds;
     QCheck_alcotest.to_alcotest prop_bsi_units_bounded;
+    QCheck_alcotest.to_alcotest prop_theoretical_thresholds_bounded;
+    QCheck_alcotest.to_alcotest prop_theoretical_d2_antitone;
+    QCheck_alcotest.to_alcotest prop_plan_deterministic;
+    QCheck_alcotest.to_alcotest prop_guard_replan_checksum;
   ]
