@@ -133,12 +133,25 @@ let write_json ~path cfg =
         ("records", List (List.rev !json_records));
       ]
   in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (to_string_pretty doc);
-      output_char oc '\n');
+  (* Write-then-rename so a crash mid-write (or a concurrent reader
+     polling the file during a long run) never observes a truncated
+     document.  The temp file lives in the target's directory because
+     rename is only atomic within one filesystem. *)
+  let tmp =
+    Filename.temp_file ~temp_dir:(Filename.dirname path)
+      (Filename.basename path ^ ".") ".tmp"
+  in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () ->
+         output_string oc (to_string_pretty doc);
+         output_char oc '\n');
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   Printf.printf "\nwrote %d benchmark records to %s\n%!"
     (List.length !json_records) path
 

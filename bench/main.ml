@@ -28,6 +28,7 @@ let experiments =
     ("EX4", Bench_join.example4);
     ("ABL", Bench_ablation.all);
     ("ABL-GUARD", Bench_ablation.guard);
+    ("ABL-CHAOS", Bench_ablation.chaos);
   ]
 
 let () =

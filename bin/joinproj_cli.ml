@@ -558,6 +558,234 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Characteristics of a dataset or imported file.")
     Term.(const run $ dataset $ input_file $ scale $ seed)
 
+(* ------------------------------------------------------------------ *)
+(* serve / stress: the resilient query service                         *)
+
+(* The served workload: query i runs one of four engine flavours on a
+   pseudo-random sub-relation of the dataset (seeded per query, so the
+   workload — and the chaos plan keyed on the query index — is
+   reproducible).  Expected outputs come from direct, fault-free engine
+   calls before the service starts; a served query must match them
+   exactly or end in a typed error. *)
+let service_workload ~seed ~domains ~nq r =
+  let n = Relation.src_count r in
+  let engine_of i =
+    match i mod 4 with
+    | 0 -> ("mm", `Mm)
+    | 1 -> ("nonmm", `Nonmm)
+    | 2 -> ("ssj", `Ssj)
+    | _ -> ("scj", `Scj)
+  in
+  let subs =
+    Array.init nq (fun i ->
+        let g = Jp_util.Rng.create (seed + (7919 * i)) in
+        let frac = 0.3 +. Jp_util.Rng.float g 0.4 in
+        let keep = Array.init n (fun _ -> Jp_util.Rng.float g 1.0 < frac) in
+        Relation.restrict_src r (fun a -> keep.(a)))
+  in
+  let count_of ?guard ?cancel i =
+    let sub = subs.(i) in
+    match snd (engine_of i) with
+    | `Mm ->
+      Jp_relation.Pairs.count
+        (Two_path.project ~domains ?guard ?cancel ~r:sub ~s:sub ())
+    | `Nonmm ->
+      Jp_relation.Pairs.count
+        (Two_path.project ~domains ~strategy:Two_path.Combinatorial ?guard
+           ?cancel ~r:sub ~s:sub ())
+    | `Ssj ->
+      Jp_relation.Pairs.count (Jp_ssj.Mm_ssj.join ~domains ?guard ?cancel ~c:2 sub)
+    | `Scj ->
+      Jp_relation.Pairs.count (Jp_scj.Mm_scj.join ~domains ?guard ?cancel sub)
+  in
+  (engine_of, count_of)
+
+let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
+    ~retries ~backoff_ms ~deadline_ms ~chaos =
+  let r = load_source name input scale seed in
+  Jp_obs.reset ();
+  Jp_obs.enable ();
+  let engine_of, count_of = service_workload ~seed ~domains ~nq r in
+  let expected = Array.init nq (fun i -> count_of i) in
+  let cfg =
+    {
+      Jp_service.workers;
+      queue_capacity = queue_cap;
+      max_retries = retries;
+      backoff_s = backoff_ms /. 1e3;
+      default_deadline_s = Option.map (fun ms -> ms /. 1e3) deadline_ms;
+      chaos;
+    }
+  in
+  let svc = Jp_service.create cfg in
+  let tickets =
+    Array.init nq (fun i ->
+        Jp_service.submit svc ~key:i (fun ~cancel ~attempt:_ ~degraded ->
+            let guard = if degraded then Some Jp_adaptive.Guard.safe else None in
+            count_of ?guard ~cancel i))
+  in
+  let reports = Array.map Jp_service.await tickets in
+  Jp_service.shutdown svc;
+  let wrong = ref 0 in
+  let header =
+    [ "q"; "engine"; "outcome"; "att"; "retry"; "deg"; "out"; "expect"; "ok"; "ran" ]
+  in
+  let rows =
+    List.init nq (fun i ->
+        let rep = reports.(i) in
+        let out, outcome, ok =
+          match rep.Jp_service.outcome with
+          | Ok c ->
+            let ok = c = expected.(i) in
+            if not ok then incr wrong;
+            (string_of_int c, "ok", if ok then "yes" else "WRONG")
+          | Error e -> ("-", Jp_service.error_to_string e, "-")
+        in
+        [
+          string_of_int i;
+          fst (engine_of i);
+          outcome;
+          string_of_int rep.Jp_service.attempts;
+          string_of_int rep.Jp_service.retries;
+          (if rep.Jp_service.degraded then "yes" else "-");
+          out;
+          string_of_int expected.(i);
+          ok;
+          Jp_util.Tablefmt.seconds rep.Jp_service.ran_s;
+        ])
+  in
+  Jp_util.Tablefmt.print ~header ~rows;
+  print_newline ();
+  print_string (Jp_obs.render_counters ());
+  let spawned = Jp_obs.value Jp_obs.C.service_workers_spawned in
+  let joined = Jp_obs.value Jp_obs.C.service_workers_joined in
+  Jp_obs.disable ();
+  let completed =
+    Array.fold_left
+      (fun acc rep ->
+        match rep.Jp_service.outcome with Ok _ -> acc + 1 | Error _ -> acc)
+      0 reports
+  in
+  Printf.printf "\n%d/%d completed, %d wrong, workers %d spawned / %d joined\n"
+    completed nq !wrong spawned joined;
+  if !wrong > 0 then begin
+    Printf.eprintf "joinproj: error: %d served queries returned wrong results\n"
+      !wrong;
+    exit 1
+  end;
+  if spawned <> joined then begin
+    Printf.eprintf "joinproj: error: leaked worker domains (%d spawned, %d joined)\n"
+      spawned joined;
+    exit 1
+  end
+
+(* Flags shared by serve and stress. *)
+let queries_n =
+  Arg.(
+    value & opt int 24
+    & info [ "queries" ] ~docv:"Q" ~doc:"Number of queries to submit.")
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ] ~docv:"W" ~doc:"Service worker domains.")
+
+let queue_cap =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:"Admission bound; submissions beyond it are rejected as overloaded.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Transient-fault retries before the degraded final attempt.")
+
+let backoff_ms =
+  Arg.(
+    value & opt float 5.0
+    & info [ "backoff-ms" ] ~docv:"MS" ~doc:"Base retry backoff (doubles per retry).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Per-query deadline; expired queries report a typed error.")
+
+let serve_cmd =
+  let run name input scale seed domains nq workers queue_cap retries backoff_ms
+      deadline_ms =
+    run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
+      ~retries ~backoff_ms ~deadline_ms ~chaos:None
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a query workload through the resilient service (bounded queue, \
+          worker domains, deadlines) and verify every answer against direct \
+          engine calls.")
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
+      $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms)
+
+let stress_cmd =
+  let chaos_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Fault-injection seed; equal seeds inject identical faults.")
+  in
+  let p_transient =
+    Arg.(
+      value & opt float 0.20
+      & info [ "p-transient" ] ~docv:"P" ~doc:"Probability of a transient fault per attempt.")
+  in
+  let p_kill =
+    Arg.(
+      value & opt float 0.05
+      & info [ "p-kill" ] ~docv:"P" ~doc:"Probability of a worker-domain death per attempt.")
+  in
+  let p_slow =
+    Arg.(
+      value & opt float 0.05
+      & info [ "p-slow" ] ~docv:"P" ~doc:"Probability of an artificial slowdown per attempt.")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt float 20.0
+      & info [ "slow-ms" ] ~docv:"MS" ~doc:"Length of injected slowdowns.")
+  in
+  let run name input scale seed domains nq workers queue_cap retries backoff_ms
+      deadline_ms chaos_seed p_transient p_kill p_slow slow_ms =
+    let chaos =
+      Some
+        {
+          Jp_chaos.none with
+          Jp_chaos.seed = chaos_seed;
+          p_transient;
+          p_worker_kill = p_kill;
+          p_slowdown = p_slow;
+          slowdown_s = slow_ms /. 1e3;
+        }
+    in
+    run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
+      ~retries ~backoff_ms ~deadline_ms ~chaos
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Like $(b,serve), but with deterministic chaos injection: transient \
+          faults, worker-domain deaths and slowdowns seeded by \
+          $(b,--chaos-seed).  Every completed query must still match the \
+          fault-free answer (possibly after retries or degradation) — wrong \
+          results exit non-zero.")
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
+      $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
+      $ chaos_seed $ p_transient $ p_kill $ p_slow $ slow_ms)
+
 let calibrate_cmd =
   let run () =
     let m = Jp_matrix.Cost.calibrate ~quick:false () in
@@ -575,20 +803,35 @@ let calibrate_cmd =
 let () =
   let doc = "fast join-project query evaluation using matrix multiplication" in
   let info = Cmd.info "joinproj" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            datasets_cmd;
-            explain_cmd;
-            join_cmd;
-            star_cmd;
-            ssj_cmd;
-            scj_cmd;
-            bsi_cmd;
-            profile_cmd;
-            query_cmd;
-            export_cmd;
-            stats_cmd;
-            calibrate_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        datasets_cmd;
+        explain_cmd;
+        join_cmd;
+        star_cmd;
+        ssj_cmd;
+        scj_cmd;
+        bsi_cmd;
+        serve_cmd;
+        stress_cmd;
+        profile_cmd;
+        query_cmd;
+        export_cmd;
+        stats_cmd;
+        calibrate_cmd;
+      ]
+  in
+  (* User errors (bad -d/-i, k < 2, unreadable files, unknown subcommand)
+     are one-line messages with a usage hint and exit code 2 — never
+     backtraces.  [~catch:false] lets Failure/Sys_error reach us instead
+     of cmdliner's backtrace printer; parse errors (cmdliner's own exit
+     124) are folded into the same code. *)
+  let code =
+    try Cmd.eval ~catch:false group with
+    | Failure msg | Sys_error msg ->
+      Printf.eprintf "joinproj: error: %s\n" msg;
+      Printf.eprintf "Run 'joinproj --help' or 'joinproj COMMAND --help' for usage.\n";
+      2
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

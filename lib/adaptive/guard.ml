@@ -37,6 +37,12 @@ let with_budget_ms ms cfg =
 
 let with_inject inject cfg = { cfg with inject }
 
+(* A zero wall-clock budget degrades at the very first checkpoint, before
+   any matrix work: the whole query runs on the combinatorial/WCOJ path.
+   Jp_service uses this as its degraded final attempt after repeated
+   faults in the fast path. *)
+let safe = with_budget_ms 0.0 default
+
 type verdict = Continue | Replan | Degrade
 
 type t = {

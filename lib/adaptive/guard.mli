@@ -60,6 +60,12 @@ val with_budget_ms : float -> config -> config
 
 val with_inject : Inject.t -> config -> config
 
+val safe : config
+(** {!default} with a zero wall-clock budget: degrades at the first
+    checkpoint, so the whole query runs on the safe combinatorial/WCOJ
+    path with no large matrix intermediates.  [Jp_service] runs its
+    degraded final attempt under this config. *)
+
 type verdict = Continue | Replan | Degrade
 
 type t

@@ -7,8 +7,9 @@ let answer_one ~r ~s a b =
   else
     Jp_util.Sorted.intersect_count (Relation.adj_src r a) (Relation.adj_src s b) > 0
 
-let answer_batch ?(domains = 1) ?(strategy = Mm) ?guard ~r ~s queries =
+let answer_batch ?(domains = 1) ?(strategy = Mm) ?guard ?cancel ~r ~s queries =
   Jp_obs.span "bsi.answer_batch" (fun () ->
+      (match cancel with Some c -> Jp_util.Cancel.check c | None -> ());
       (* Filter both relations to the sets the batch mentions (Section 3.3's
          "use the requests in the batch to filter R and S"). *)
       let rf, sf =
@@ -25,10 +26,10 @@ let answer_batch ?(domains = 1) ?(strategy = Mm) ?guard ~r ~s queries =
       in
       let pairs =
         match strategy with
-        | Mm -> Joinproj.Two_path.project ~domains ?guard ~r:rf ~s:sf ()
+        | Mm -> Joinproj.Two_path.project ~domains ?guard ?cancel ~r:rf ~s:sf ()
         | Combinatorial ->
           (* already the safe path; the guard has nothing to supervise *)
-          Jp_wcoj.Expand.project ~domains ~r:rf ~s:sf ()
+          Jp_wcoj.Expand.project ~domains ?cancel ~r:rf ~s:sf ()
       in
       Jp_obs.span "bsi.probe" (fun () ->
           Array.map (fun (a, b) -> Jp_relation.Pairs.mem pairs a b) queries))
@@ -51,7 +52,8 @@ type stats = {
   units_needed : float;
 }
 
-let simulate_impl ~domains ~strategy ~guard ~r ~s ~queries ~rate ~batch_size =
+let simulate_impl ~domains ~strategy ~guard ~cancel ~r ~s ~queries ~rate
+    ~batch_size =
   let n = Array.length queries in
   let batches = (n + batch_size - 1) / batch_size in
   let total_delay = ref 0.0 and max_delay = ref 0.0 and total_proc = ref 0.0 in
@@ -61,7 +63,7 @@ let simulate_impl ~domains ~strategy ~guard ~r ~s ~queries ~rate ~batch_size =
     let batch = Array.sub queries lo (hi - lo) in
     let answers, proc =
       Jp_util.Timer.time (fun () ->
-          answer_batch ~domains ~strategy ?guard ~r ~s batch)
+          answer_batch ~domains ~strategy ?guard ?cancel ~r ~s batch)
     in
     ignore answers;
     total_proc := !total_proc +. proc;
@@ -85,9 +87,10 @@ let simulate_impl ~domains ~strategy ~guard ~r ~s ~queries ~rate ~batch_size =
     units_needed = avg_processing /. period;
   }
 
-let simulate ?(domains = 1) ?(strategy = Mm) ?guard ~r ~s ~queries ~rate
-    ~batch_size () =
+let simulate ?(domains = 1) ?(strategy = Mm) ?guard ?cancel ~r ~s ~queries
+    ~rate ~batch_size () =
   if batch_size < 1 then invalid_arg "Bsi.simulate: batch_size must be >= 1";
   if rate <= 0.0 then invalid_arg "Bsi.simulate: rate must be positive";
   Jp_obs.span "bsi.simulate" (fun () ->
-      simulate_impl ~domains ~strategy ~guard ~r ~s ~queries ~rate ~batch_size)
+      simulate_impl ~domains ~strategy ~guard ~cancel ~r ~s ~queries ~rate
+        ~batch_size)

@@ -22,6 +22,7 @@ val answer_batch :
   ?domains:int ->
   ?strategy:strategy ->
   ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Jp_util.Cancel.t ->
   r:Relation.t ->
   s:Relation.t ->
   (int * int) array ->
@@ -60,6 +61,7 @@ val simulate :
   ?domains:int ->
   ?strategy:strategy ->
   ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Jp_util.Cancel.t ->
   r:Relation.t ->
   s:Relation.t ->
   queries:(int * int) array ->

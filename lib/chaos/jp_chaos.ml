@@ -1,0 +1,99 @@
+module Cancel = Jp_util.Cancel
+module Pool = Jp_parallel.Pool
+module Rng = Jp_util.Rng
+
+type fault =
+  | Transient
+  | Worker_kill
+  | Slowdown of float
+
+let fault_to_string = function
+  | Transient -> "transient"
+  | Worker_kill -> "worker_kill"
+  | Slowdown s -> Printf.sprintf "slowdown(%.0fms)" (s *. 1e3)
+
+exception Injected of fault
+
+type config = {
+  seed : int;
+  p_transient : float;
+  p_worker_kill : float;
+  p_slowdown : float;
+  slowdown_s : float;
+  window : int;
+  spare_degraded : bool;
+}
+
+let none =
+  {
+    seed = 0;
+    p_transient = 0.0;
+    p_worker_kill = 0.0;
+    p_slowdown = 0.0;
+    slowdown_s = 0.0;
+    window = 4;
+    spare_degraded = true;
+  }
+
+let default seed =
+  {
+    none with
+    seed;
+    p_transient = 0.20;
+    p_worker_kill = 0.05;
+    p_slowdown = 0.05;
+    slowdown_s = 0.02;
+  }
+
+type plan = No_fault | Fault of { fault : fault; after : int }
+
+(* One generator per (seed, query, attempt): the multipliers are primes
+   large enough that distinct coordinates never collide for realistic
+   workload sizes, and splitmix64 scrambles whatever structure remains. *)
+let plan cfg ~query ~attempt ~degraded =
+  if degraded && cfg.spare_degraded then No_fault
+  else begin
+    let g =
+      Rng.create ((cfg.seed * 2_000_003) + (query * 4_001) + attempt)
+    in
+    let u = Rng.float g 1.0 in
+    let after = 1 + Rng.int g (max 1 cfg.window) in
+    if u < cfg.p_transient then Fault { fault = Transient; after }
+    else if u < cfg.p_transient +. cfg.p_worker_kill then
+      Fault { fault = Worker_kill; after }
+    else if u < cfg.p_transient +. cfg.p_worker_kill +. cfg.p_slowdown then
+      Fault { fault = Slowdown cfg.slowdown_s; after }
+    else No_fault
+  end
+
+(* The armed closure: decrement a countdown on every poll; the poll that
+   takes it from 1 to 0 delivers the fault.  fetch_and_add makes the
+   firing poll unique even when several domains poll concurrently. *)
+let arm fault ~after =
+  let togo = Atomic.make after in
+  fun () ->
+    if Atomic.fetch_and_add togo (-1) = 1 then begin
+      match fault with
+      | Transient ->
+        Jp_obs.incr Jp_obs.C.chaos_transients;
+        raise (Injected Transient)
+      | Worker_kill ->
+        Jp_obs.incr Jp_obs.C.chaos_worker_kills;
+        raise (Injected Worker_kill)
+      | Slowdown s ->
+        Jp_obs.incr Jp_obs.C.chaos_slowdowns;
+        Unix.sleepf s
+    end
+
+let with_attempt cfg ~query ~attempt ~degraded ~cancel ~pool f =
+  match plan cfg ~query ~attempt ~degraded with
+  | No_fault -> f ()
+  | Fault { fault; after } ->
+    let hook = arm fault ~after in
+    Cancel.set_hook cancel hook;
+    if pool then Pool.set_fault_hook (Some hook);
+    Fun.protect
+      ~finally:(fun () ->
+        Cancel.clear_hook cancel;
+        if pool then Pool.set_fault_hook None)
+      f

@@ -61,7 +61,7 @@ let build ?plan ?thresholds ~r ~s () =
       nz;
     }
   | Optimizer.Partitioned { d1; d2 } ->
-    let p = Partition.make ~r ~s ~d1 ~d2 in
+    let p = Partition.make ~r ~s ~d1 ~d2 () in
     let light = light_rows ~r ~s p in
     (* One biclique per heavy witness, deduplicated by content: witnesses
        shared by the same community contribute identical X x Z blocks, and

@@ -53,8 +53,9 @@ let make_unspanned ~r ~s ~d1 ~d2 =
     z_index = index_of ~space:(Relation.src_count s) heavy_z;
   }
 
-let make ~r ~s ~d1 ~d2 =
+let make ?cancel ~r ~s ~d1 ~d2 () =
   if d1 < 1 || d2 < 1 then invalid_arg "Partition.make: thresholds must be >= 1";
+  (match cancel with Some c -> Jp_util.Cancel.check c | None -> ());
   Jp_obs.span "partition.make" (fun () -> make_unspanned ~r ~s ~d1 ~d2)
 
 let is_light_y t y = y >= Array.length t.light_y || t.light_y.(y)

@@ -30,7 +30,16 @@ type t = {
   z_index : int array;  (** z id → column index, or -1 *)
 }
 
-val make : r:Relation.t -> s:Relation.t -> d1:int -> d2:int -> t
+val make :
+  ?cancel:Jp_util.Cancel.t ->
+  r:Relation.t ->
+  s:Relation.t ->
+  d1:int ->
+  d2:int ->
+  unit ->
+  t
+(** [cancel] is checked once at entry — the partition scan is a single
+    O(N) phase. *)
 
 val is_light_y : t -> int -> bool
 (** Total over the y id space (ids beyond both relations are light: they

@@ -3,8 +3,22 @@ module Tuples = Jp_relation.Tuples
 module Boolmat = Jp_matrix.Boolmat
 module Vec = Jp_util.Vec
 module Obs = Jp_obs
+module Cancel = Jp_util.Cancel
 
 type strategy = Matrix | Combinatorial
+
+(* Cancellation checkpoints: phase boundaries plus every [poll_every]
+   iterations of the y/row loops (the combinatorial work per y is
+   unbounded, so per-y polling would still be "per chunk" — but the mask
+   keeps the poll off the common path entirely). *)
+let poll_every = 256
+
+let check_cancel = function Some c -> Cancel.check c | None -> ()
+
+let maybe_check cancel i =
+  match cancel with
+  | Some c when i land (poll_every - 1) = 0 -> Cancel.check c
+  | _ -> ()
 
 let full_join_size rels = Jp_wcoj.Star.join_size rels
 
@@ -53,7 +67,8 @@ let unpack_into shifts dims key tuple ~offset =
     shifts
 
 (* The heavy residue via the V·W matrix product of Section 3.2. *)
-let heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k ~combo_cap =
+let heavy_matrix_step ?cancel ~builder ~heavy_lists ~qualifying_ys ~dims k
+    ~combo_cap () =
   let m = (k + 1) / 2 in
   let prefix_dims = Array.sub dims 0 m in
   let suffix_dims = Array.sub dims m (k - m) in
@@ -74,8 +89,9 @@ let heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k ~combo_cap =
         i
     in
     (* First pass: assign row/column indexes. *)
-    Array.iter
-      (fun y ->
+    Array.iteri
+      (fun jy y ->
+        maybe_check cancel jy;
         let lists : int array array = heavy_lists y in
         iter_combos (Array.sub lists 0 m) prefix_shifts (fun key ->
             ignore (intern prefix_index prefix_keys key));
@@ -104,6 +120,7 @@ let heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k ~combo_cap =
       let acc = Jp_util.Bitset.create w in
       let tuple = Array.make k 0 in
       for i = 0 to u - 1 do
+        maybe_check cancel i;
         Jp_util.Bitset.clear acc;
         Boolmat.iter_row mat_v i (fun j ->
             Jp_util.Bitset.union_into ~dst:acc (Boolmat.row mat_w j));
@@ -131,10 +148,11 @@ let phase phases name f =
   end
   else f ()
 
-let project_impl ~strategy ~thresholds ~guard rels =
+let project_impl ~strategy ~thresholds ~guard ~cancel rels =
   let module Guard = Jp_adaptive.Guard in
   let k = Array.length rels in
   if k < 2 then invalid_arg "Star.project: arity must be >= 2";
+  check_cancel cancel;
   let t_start = Jp_util.Timer.now () in
   let phases = ref [] in
   let g = Option.map Guard.start guard in
@@ -166,6 +184,7 @@ let project_impl ~strategy ~thresholds ~guard rels =
   (* Step 1: light-x sub-joins. *)
   phase phases "light-x" (fun () ->
       for j = 0 to k - 1 do
+        check_cancel cancel;
         Jp_wcoj.Star.iter_full
           ~restrict:(j, fun c _ -> Relation.deg_src rels.(j) c <= d2)
           rels add
@@ -173,6 +192,7 @@ let project_impl ~strategy ~thresholds ~guard rels =
   (* Step 2: light-y sub-joins. *)
   phase phases "light-y" (fun () ->
       for j = 0 to k - 1 do
+        check_cancel cancel;
         Jp_wcoj.Star.iter_full
           ~restrict:(j, fun _ y -> light_in_all_others j y)
           rels add
@@ -194,6 +214,7 @@ let project_impl ~strategy ~thresholds ~guard rels =
     phase phases "qualify" (fun () ->
         let qualifying = Vec.create () in
         for y = 0 to ny - 1 do
+          maybe_check cancel y;
           let lists = heavy_lists y in
           if Array.for_all (fun l -> Array.length l > 0) lists then
             Vec.push qualifying y
@@ -202,8 +223,9 @@ let project_impl ~strategy ~thresholds ~guard rels =
   in
   let combinatorial_heavy () =
     let tuple = Array.make k 0 in
-    Array.iter
-      (fun y ->
+    Array.iteri
+      (fun jy y ->
+        maybe_check cancel jy;
         let lists = heavy_lists y in
         let rec fill i =
           if i = k then Tuples.add builder tuple
@@ -239,6 +261,7 @@ let project_impl ~strategy ~thresholds ~guard rels =
     | None -> default
   in
   let heavy_path = ref "comb" in
+  check_cancel cancel;
   (match strategy with
   | Combinatorial ->
     phase phases "heavy-comb" (fun () -> combinatorial_heavy ())
@@ -246,8 +269,8 @@ let project_impl ~strategy ~thresholds ~guard rels =
     try
       phase phases "heavy-mm" (fun () ->
           Obs.span "star.heavy_mm" (fun () ->
-              heavy_matrix_step ~builder ~heavy_lists ~qualifying_ys ~dims k
-                ~combo_cap));
+              heavy_matrix_step ?cancel ~builder ~heavy_lists ~qualifying_ys
+                ~dims k ~combo_cap ()));
       heavy_path := "mm"
     with Matrix_overflow ->
       (match g with Some g -> Guard.note_degrade g | None -> ());
@@ -263,5 +286,6 @@ let project_impl ~strategy ~thresholds ~guard rels =
       ~phases:(List.rev !phases) ();
   result
 
-let project ?domains:_ ?(strategy = Matrix) ?thresholds ?guard rels =
-  Obs.span "star.project" (fun () -> project_impl ~strategy ~thresholds ~guard rels)
+let project ?domains:_ ?(strategy = Matrix) ?thresholds ?guard ?cancel rels =
+  Obs.span "star.project" (fun () ->
+      project_impl ~strategy ~thresholds ~guard ~cancel rels)

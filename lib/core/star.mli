@@ -26,6 +26,7 @@
 
 module Relation = Jp_relation.Relation
 module Tuples = Jp_relation.Tuples
+module Cancel = Jp_util.Cancel
 
 type strategy = Matrix | Combinatorial
 
@@ -34,6 +35,7 @@ val project :
   ?strategy:strategy ->
   ?thresholds:int * int ->
   ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Cancel.t ->
   Relation.t array ->
   Tuples.t
 (** [project rels] evaluates π{_x₁…x_k} of the star join.  Default
@@ -44,7 +46,11 @@ val project :
     checkpoints before the light steps and before the matrix step degrade
     the heavy residue to the combinatorial enumeration, the cells budget
     tightens the matrix interning cap, and a [Matrix_overflow] fallback is
-    recorded as a degradation in the plan-vs-actual record. *)
+    recorded as a degradation in the plan-vs-actual record.
+
+    [cancel] is polled before each sub-join and every few hundred
+    iterations of the qualify/intern/product/enumeration loops; absent,
+    the code path is exactly the historical one. *)
 
 val choose_thresholds : Relation.t array -> int * int
 (** Closed-form threshold choice in the spirit of Example 4: balances the

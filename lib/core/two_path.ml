@@ -5,8 +5,19 @@ module Boolmat = Jp_matrix.Boolmat
 module Intmat = Jp_matrix.Intmat
 module Vec = Jp_util.Vec
 module Obs = Jp_obs
+module Cancel = Jp_util.Cancel
 
 type strategy = Matrix | Combinatorial
+
+(* Cancellation support.  [check_cancel] is the phase-boundary
+   checkpoint; chunked merge loops poll every [poll_rows] rows (the
+   guard-checkpoint granularity), reusing one merge scratch across
+   sub-chunks — stamps are row ids, distinct across chunks, so stale
+   stamps cannot collide.  With [?cancel] absent every loop below runs
+   its historical one-shot body. *)
+let check_cancel = function Some c -> Cancel.check c | None -> ()
+
+let poll_rows = 4096
 
 (* Measures one engine phase for the plan-vs-actual record; [f] may open
    its own spans, so this deliberately does not open one.  Top-level (and
@@ -153,21 +164,36 @@ let merge_range ?scratch ~r ~s ~(p : Partition.t) ~product ~s_light_of_heavy_y
   end;
   !produced
 
-let partitioned_project ~phases ~domains ~strategy ~r ~s (p : Partition.t) =
+let partitioned_project ?cancel ~phases ~domains ~strategy ~r ~s
+    (p : Partition.t) =
+  check_cancel cancel;
   let product =
     match strategy with
     | Matrix -> Some (phase phases "heavy-mm" (fun () -> heavy_matrices ~domains ~r ~s p))
     | Combinatorial -> None
   in
+  check_cancel cancel;
   phase phases "light-merge" (fun () ->
       Obs.span "two_path.light_merge" (fun () ->
           let s_light_of_heavy_y, s_heavy_of_heavy_y = split_heavy_s ~r ~s p in
           let nx = Relation.src_count r in
           let rows = Array.make nx [||] in
           let worker lo hi =
-            ignore
-              (merge_range ~r ~s ~p ~product ~s_light_of_heavy_y
-                 ~s_heavy_of_heavy_y ~rows lo hi)
+            match cancel with
+            | None ->
+              ignore
+                (merge_range ~r ~s ~p ~product ~s_light_of_heavy_y
+                   ~s_heavy_of_heavy_y ~rows lo hi)
+            | Some c ->
+              let scratch = merge_scratch ~s in
+              let i = ref lo in
+              while !i < hi && not (Cancel.is_cancelled c) do
+                let j = min hi (!i + poll_rows) in
+                ignore
+                  (merge_range ~scratch ~r ~s ~p ~product ~s_light_of_heavy_y
+                     ~s_heavy_of_heavy_y ~rows !i j);
+                i := j
+              done
           in
           if domains <= 1 then worker 0 nx
           else begin
@@ -175,6 +201,7 @@ let partitioned_project ~phases ~domains ~strategy ~r ~s (p : Partition.t) =
             Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0
               ~hi:nx worker
           end;
+          check_cancel cancel;
           Pairs.of_rows_unchecked rows))
 
 (* ------------------------------------------------------------------ *)
@@ -206,8 +233,9 @@ let partition_cells (p : Partition.t) =
      plan at the current row, keeping all finished rows.
 
    Re-planning is always done with clean (un-injected) statistics and
-   bounded by the guard's fuel, so the recursion terminates. *)
-let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
+   bounded by the guard's fuel, so the recursion terminates.  A cancel
+   token is polled at exactly these checkpoints. *)
+let guarded_project ?cancel ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
   let module Guard = Jp_adaptive.Guard in
   let cfg = Guard.config g in
   let nx = Relation.src_count r in
@@ -224,7 +252,7 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
     if hi > lo then
       phase phases "wcoj" (fun () ->
           let xs = Array.init (hi - lo) (fun i -> lo + i) in
-          let out = Jp_wcoj.Expand.project ~domains ~xs ~r ~s () in
+          let out = Jp_wcoj.Expand.project ~domains ?cancel ~xs ~r ~s () in
           for a = lo to hi - 1 do
             let row = Pairs.row out a in
             rows.(a) <- row;
@@ -246,6 +274,7 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
     let probe_hi = min nx (lo + probe) in
     expand_into lo probe_hi;
     if probe_hi < nx then begin
+      check_cancel cancel;
       (* Wcoj already is the safe path: a blown budget only marks the
          outcome — the remaining rows still have to be expanded. *)
       (match Guard.check_budget g ~cells:0 with
@@ -278,7 +307,10 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
       | Guard.Continue | Guard.Degrade -> expand_into probe_hi nx
     end
   and run_partitioned plan ~d1 ~d2 lo =
-    let p = phase phases "partition" (fun () -> Partition.make ~r ~s ~d1 ~d2) in
+    check_cancel cancel;
+    let p =
+      phase phases "partition" (fun () -> Partition.make ?cancel ~r ~s ~d1 ~d2 ())
+    in
     (match Guard.check_budget g ~cells:(partition_cells p) with
     | Guard.Degrade ->
       (* No room for the matrices: heavy part via the combinatorial
@@ -306,6 +338,7 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
         Some (phase phases "heavy-mm" (fun () -> heavy_matrices ~domains ~r ~s p))
       | Combinatorial -> None
     in
+    check_cancel cancel;
     let resume =
       phase phases "light-merge" (fun () ->
           Obs.span "two_path.light_merge" (fun () ->
@@ -313,15 +346,30 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
               if domains > 1 then begin
                 (* Worker domains race past any sequential checkpoint, so
                    parallel merges keep only the plan-time and pre-MM
-                   checks and run the range in one shot. *)
+                   checks and run the range in one shot — unless a cancel
+                   token is present, in which case each worker sub-chunks
+                   and polls it. *)
                 let worker l h =
-                  ignore
-                    (merge_range ~r ~s ~p ~product ~s_light_of_heavy_y
-                       ~s_heavy_of_heavy_y ~rows l h)
+                  match cancel with
+                  | None ->
+                    ignore
+                      (merge_range ~r ~s ~p ~product ~s_light_of_heavy_y
+                         ~s_heavy_of_heavy_y ~rows l h)
+                  | Some c ->
+                    let sc = merge_scratch ~s in
+                    let i = ref l in
+                    while !i < h && not (Cancel.is_cancelled c) do
+                      let j = min h (!i + check_chunk) in
+                      ignore
+                        (merge_range ~scratch:sc ~r ~s ~p ~product
+                           ~s_light_of_heavy_y ~s_heavy_of_heavy_y ~rows !i j);
+                      i := j
+                    done
                 in
                 let per = (nx - lo + domains - 1) / domains in
                 Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo
                   ~hi:nx worker;
+                check_cancel cancel;
                 for a = lo to nx - 1 do
                   produced := !produced + Array.length rows.(a)
                 done;
@@ -331,6 +379,7 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
                 let resume = ref None in
                 let i = ref lo in
                 while !resume = None && !i < nx do
+                  check_cancel cancel;
                   let hi = min nx (!i + check_chunk) in
                   produced :=
                     !produced
@@ -368,6 +417,7 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
   in
   (* Entry checkpoint: a zero (or already blown) time budget forbids
      matrix plans outright. *)
+  check_cancel cancel;
   (match Guard.check_budget g ~cells:0 with
   | Guard.Degrade ->
     Guard.note_degrade g;
@@ -376,7 +426,7 @@ let guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
   run plan0 0;
   Pairs.of_rows_unchecked rows
 
-let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ~r ~s () =
+let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ~r ~s () =
   match guard with
   | Some gcfg ->
     let module Guard = Jp_adaptive.Guard in
@@ -399,7 +449,8 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ~r ~s () =
                   ~mm_cost_scale:inj.Inject.mm_factor (Lazy.force prep) ())
         in
         let result =
-          guarded_project ~g ~prep ~domains ~strategy ~phases ~r ~s plan
+          guarded_project ?cancel ~g ~prep ~domains ~strategy ~phases ~r ~s
+            plan
         in
         if Obs.recording () then
           Obs.record_plan ~label:"two_path" ~replanned:(Guard.replanned g)
@@ -424,10 +475,15 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ~r ~s () =
         let result =
           match plan.decision with
           | Optimizer.Wcoj ->
-            phase phases "wcoj" (fun () -> Jp_wcoj.Expand.project ~domains ~r ~s ())
+            phase phases "wcoj" (fun () ->
+                Jp_wcoj.Expand.project ~domains ?cancel ~r ~s ())
           | Optimizer.Partitioned { d1; d2 } ->
-            let p = phase phases "partition" (fun () -> Partition.make ~r ~s ~d1 ~d2) in
-            partitioned_project ~phases ~domains ~strategy ~r ~s p
+            check_cancel cancel;
+            let p =
+              phase phases "partition" (fun () ->
+                  Partition.make ?cancel ~r ~s ~d1 ~d2 ())
+            in
+            partitioned_project ?cancel ~phases ~domains ~strategy ~r ~s p
         in
         if Obs.recording () then
           Obs.record_plan ~label:"two_path"
@@ -438,9 +494,10 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ~r ~s () =
             ~phases:(List.rev !phases) ();
         result)
 
-let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ?guard ~r ~s () =
+let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ?guard ?cancel
+    ~r ~s () =
   let plan = Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s () in
-  (project ~domains ~strategy ~plan ?guard ~r ~s (), plan)
+  (project ~domains ~strategy ~plan ?guard ?cancel ~r ~s (), plan)
 
 (* ------------------------------------------------------------------ *)
 (* Exact-count evaluation (partition on the join variable only)        *)
@@ -452,7 +509,7 @@ let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ?guard ~r ~s () =
    matrices were actually used — [false] means the cell cap (or an
    explicit [~matrix:false]) forced the combinatorial fallback, which the
    guarded path records as a degradation. *)
-let counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix ~cap =
+let counted_partitioned ?cancel ~phases ~domains ~r ~s ~d1 ~matrix ~cap () =
   let ny = max (Relation.dst_count r) (Relation.dst_count s) in
   let deg_ry y = if y < Relation.dst_count r then Relation.deg_dst r y else 0 in
   let deg_sy y = if y < Relation.dst_count s then Relation.deg_dst s y else 0 in
@@ -505,13 +562,14 @@ let counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix ~cap =
   let treat_all_light = product = None in
   let nx = Relation.src_count r in
   let rows = Array.make nx ([||], [||]) in
+  check_cancel cancel;
   phase phases "count-merge" (fun () ->
       Obs.span "two_path.count_merge" (fun () ->
-          let worker lo hi =
-            let nz = Relation.src_count s in
-            let stamps = Array.make nz (-1) in
-            let counts = Array.make nz 0 in
-            let buf = Vec.create ~capacity:256 () in
+          let nz = Relation.src_count s in
+          let count_scratch () =
+            (Array.make nz (-1), Array.make nz 0, Vec.create ~capacity:256 ())
+          in
+          let run_rows (stamps, counts, buf) lo hi =
             let obs = Obs.recording () in
             let light_scans = ref 0 and presented = ref 0 and misses = ref 0 in
             for a = lo to hi - 1 do
@@ -561,18 +619,32 @@ let counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix ~cap =
               Obs.add Obs.C.stamp_hits (!presented - !misses)
             end
           in
+          let worker lo hi =
+            match cancel with
+            | None -> run_rows (count_scratch ()) lo hi
+            | Some c ->
+              let scratch = count_scratch () in
+              let i = ref lo in
+              while !i < hi && not (Cancel.is_cancelled c) do
+                let j = min hi (!i + poll_rows) in
+                run_rows scratch !i j;
+                i := j
+              done
+          in
           if domains <= 1 then worker 0 nx
           else begin
             let per = (nx + domains - 1) / domains in
             Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0
               ~hi:nx worker
           end;
+          check_cancel cancel;
           (Counted_pairs.of_rows_unchecked rows, use_matrix)))
 
-let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard
+let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel
     ?(matrix_cell_cap = 200_000_000) ~r ~s () =
   Obs.span "two_path.project_counts" (fun () ->
       let t0 = Jp_util.Timer.now () in
+      check_cancel cancel;
       let phases = ref [] in
       let g =
         match guard with
@@ -646,10 +718,12 @@ let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard
       let result =
         match (plan.Optimizer.decision, strategy) with
         | Optimizer.Wcoj, _ | _, Combinatorial ->
-          phase phases "wcoj" (fun () -> Jp_wcoj.Expand.project_counts ~domains ~r ~s ())
+          phase phases "wcoj" (fun () ->
+              Jp_wcoj.Expand.project_counts ~domains ?cancel ~r ~s ())
         | Optimizer.Partitioned { d1; d2 = _ }, Matrix ->
           let result, used_matrix =
-            counted_partitioned ~phases ~domains ~r ~s ~d1 ~matrix:true ~cap
+            counted_partitioned ?cancel ~phases ~domains ~r ~s ~d1 ~matrix:true
+              ~cap ()
           in
           (match g with
           | Some g when not used_matrix -> Guard.note_degrade g

@@ -15,11 +15,18 @@
     [Combinatorial] replaces step 2 with the same stamp-vector expansion
     restricted to heavy tuples: that is the paper's {b Non-MMJoin}
     baseline (the Lemma-2-style combinatorial output-sensitive
-    algorithm), sharing every other code path with {b MMJoin}. *)
+    algorithm), sharing every other code path with {b MMJoin}.
+
+    All entry points take [?cancel]: a {!Jp_util.Cancel} token polled at
+    phase boundaries and once per merge chunk (never per tuple), raising
+    {!Jp_util.Cancel.Cancelled} promptly when the token is cancelled or
+    its deadline passes.  Without a token the code paths are exactly the
+    historical ones — the same guarantee style as [?guard]. *)
 
 module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Counted_pairs = Jp_relation.Counted_pairs
+module Cancel = Jp_util.Cancel
 
 type strategy =
   | Matrix  (** heavy part via {!Jp_matrix.Boolmat.mul} / {!Jp_matrix.Intmat.mul} *)
@@ -30,6 +37,7 @@ val project :
   ?strategy:strategy ->
   ?plan:Optimizer.plan ->
   ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Cancel.t ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
@@ -52,6 +60,7 @@ val project_counts :
   ?strategy:strategy ->
   ?plan:Optimizer.plan ->
   ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Cancel.t ->
   ?matrix_cell_cap:int ->
   r:Relation.t ->
   s:Relation.t ->
@@ -76,6 +85,7 @@ val project_with_plan_info :
   ?domains:int ->
   ?strategy:strategy ->
   ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Cancel.t ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->

@@ -60,6 +60,39 @@ module C = struct
   let pool_tasks = counter "pool.tasks"
 
   let pool_spawns = counter "pool.domain_spawns"
+
+  (* Query-service lifecycle (Jp_service): every submission ends up in
+     exactly one of accepted/rejected, and every accepted query in exactly
+     one of completed/failed/deadline/cancelled — the balance the service
+     tests enforce. *)
+  let service_submitted = counter "service.submitted"
+
+  let service_accepted = counter "service.accepted"
+
+  let service_rejected = counter "service.rejected_overload"
+
+  let service_completed = counter "service.completed"
+
+  let service_failed = counter "service.failed"
+
+  let service_deadline = counter "service.deadline_exceeded"
+
+  let service_cancelled = counter "service.cancelled"
+
+  let service_retries = counter "service.retries"
+
+  let service_degraded = counter "service.degraded"
+
+  let service_workers_spawned = counter "service.workers_spawned"
+
+  let service_workers_joined = counter "service.workers_joined"
+
+  (* Chaos injection (Jp_chaos), one bump per fault actually delivered. *)
+  let chaos_transients = counter "chaos.transients"
+
+  let chaos_worker_kills = counter "chaos.worker_kills"
+
+  let chaos_slowdowns = counter "chaos.slowdowns"
 end
 
 let counter_values () =

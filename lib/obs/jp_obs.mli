@@ -113,6 +113,49 @@ module C : sig
 
   val pool_spawns : counter
   (** Domains spawned by {!Jp_parallel.Pool.run_workers}. *)
+
+  val service_submitted : counter
+  (** Queries offered to [Jp_service.submit] (accepted or not). *)
+
+  val service_accepted : counter
+  (** Queries admitted to the service queue. *)
+
+  val service_rejected : counter
+  (** Queries refused at admission (queue full or shutting down). *)
+
+  val service_completed : counter
+  (** Accepted queries that returned a result. *)
+
+  val service_failed : counter
+  (** Accepted queries that ended in [Failed _] after retries ran out. *)
+
+  val service_deadline : counter
+  (** Accepted queries cut off by their deadline. *)
+
+  val service_cancelled : counter
+  (** Accepted queries cancelled by the client (or at shutdown). *)
+
+  val service_retries : counter
+  (** Attempt re-runs after an injected transient fault. *)
+
+  val service_degraded : counter
+  (** Final attempts forced onto the safe non-matrix path. *)
+
+  val service_workers_spawned : counter
+  (** Service worker domains spawned; must equal {!service_workers_joined}
+      after shutdown (the leak check in the service tests). *)
+
+  val service_workers_joined : counter
+  (** Service worker domains joined at shutdown. *)
+
+  val chaos_transients : counter
+  (** Transient kernel faults actually delivered by [Jp_chaos]. *)
+
+  val chaos_worker_kills : counter
+  (** Worker-domain deaths actually delivered by [Jp_chaos]. *)
+
+  val chaos_slowdowns : counter
+  (** Artificial slowdowns actually delivered by [Jp_chaos]. *)
 end
 
 (** {1 Plan vs actual} *)

@@ -2,9 +2,12 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Vec = Jp_util.Vec
 
-let join ?(domains = 1) ?guard r =
+let join ?(domains = 1) ?guard ?cancel r =
   Jp_obs.span "scj.mm_join" (fun () ->
-      let counted = Joinproj.Two_path.project_counts ~domains ?guard ~r ~s:r () in
+      let counted =
+        Joinproj.Two_path.project_counts ~domains ?guard ?cancel ~r ~s:r ()
+      in
+      (match cancel with Some t -> Jp_util.Cancel.check t | None -> ());
       Jp_obs.span "scj.containment_filter" (fun () ->
           let rows =
             Array.init (Relation.src_count r) (fun _ -> Vec.create ~capacity:0 ())

@@ -9,7 +9,11 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 
 val join :
-  ?domains:int -> ?guard:Jp_adaptive.Guard.config -> Relation.t -> Pairs.t
+  ?domains:int ->
+  ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Jp_util.Cancel.t ->
+  Relation.t ->
+  Pairs.t
 (** Directed containment pairs (a, b): set a ⊆ set b, a ≠ b.  [guard]
     supervises the underlying counted join-project
     (see {!Joinproj.Two_path.project_counts}). *)

@@ -1,0 +1,250 @@
+module Cancel = Jp_util.Cancel
+module Pool = Jp_parallel.Pool
+module Timer = Jp_util.Timer
+module C = Jp_obs.C
+
+type error =
+  | Overloaded
+  | Deadline_exceeded
+  | Cancelled
+  | Failed of string
+
+let error_to_string = function
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline"
+  | Cancelled -> "cancelled"
+  | Failed msg -> "failed: " ^ msg
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  max_retries : int;
+  backoff_s : float;
+  default_deadline_s : float option;
+  chaos : Jp_chaos.config option;
+}
+
+let default =
+  {
+    workers = 1;
+    queue_capacity = 16;
+    max_retries = 2;
+    backoff_s = 0.005;
+    default_deadline_s = None;
+    chaos = None;
+  }
+
+type 'a report = {
+  outcome : ('a, error) result;
+  attempts : int;
+  retries : int;
+  degraded : bool;
+  queued_s : float;
+  ran_s : float;
+}
+
+type 'a ticket = {
+  tlock : Mutex.t;
+  tcond : Condition.t;
+  mutable result : 'a report option;
+  tcancel : Cancel.t;
+}
+
+let resolve tk rep =
+  Mutex.lock tk.tlock;
+  (match tk.result with None -> tk.result <- Some rep | Some _ -> ());
+  Condition.broadcast tk.tcond;
+  Mutex.unlock tk.tlock
+
+let await tk =
+  Mutex.lock tk.tlock;
+  while tk.result = None do
+    Condition.wait tk.tcond tk.tlock
+  done;
+  let rep = match tk.result with Some r -> r | None -> assert false in
+  Mutex.unlock tk.tlock;
+  rep
+
+let cancel tk = Cancel.cancel tk.tcancel
+
+(* A queued job erases the ticket's result type: [exec] runs the query
+   on a worker domain, [abort] resolves the ticket as cancelled when the
+   service shuts down before the job was picked up.  Exactly one of the
+   two ever runs. *)
+type job = { exec : unit -> unit; abort : unit -> unit }
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.nonempty t.lock
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.lock;
+      continue := false
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      job.exec ()
+    end
+  done
+
+let create cfg =
+  if cfg.queue_capacity < 0 then invalid_arg "Jp_service.create: negative queue";
+  if cfg.max_retries < 0 then invalid_arg "Jp_service.create: negative retries";
+  let workers = max 1 (min cfg.workers (Pool.available_cores ())) in
+  let t =
+    {
+      cfg = { cfg with workers };
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      domains = [];
+    }
+  in
+  Jp_obs.add C.service_workers_spawned workers;
+  t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+(* One query execution on a worker domain: attempt loop with exponential
+   backoff on injected transients, then a final degraded attempt.  Every
+   exception is mapped to a typed error — nothing escapes to the worker
+   loop. *)
+let run_query t ~key ~cancel ~submitted_at ~work tk =
+  let started = Timer.now () in
+  let attempts = ref 0 in
+  let retries = ref 0 in
+  let degraded = ref false in
+  let run_attempt ~degraded:d =
+    let attempt = !attempts in
+    incr attempts;
+    Jp_obs.span "service.attempt" (fun () ->
+        match t.cfg.chaos with
+        | None -> work ~cancel ~attempt ~degraded:d
+        | Some ccfg ->
+          Jp_chaos.with_attempt ccfg ~query:key ~attempt ~degraded:d ~cancel
+            ~pool:(t.cfg.workers = 1) (fun () ->
+              work ~cancel ~attempt ~degraded:d))
+  in
+  let outcome =
+    try
+      (* The deadline keeps ticking while queued: a query that waited too
+         long dies here without burning a single engine cycle. *)
+      Cancel.check cancel;
+      let rec go n =
+        match run_attempt ~degraded:false with
+        | v -> Ok v
+        | exception Jp_chaos.Injected _ when n < t.cfg.max_retries ->
+          incr retries;
+          Jp_obs.incr C.service_retries;
+          Unix.sleepf (t.cfg.backoff_s *. (2.0 ** float_of_int n));
+          go (n + 1)
+        | exception Jp_chaos.Injected _ -> begin
+          incr retries;
+          Jp_obs.incr C.service_retries;
+          degraded := true;
+          Jp_obs.incr C.service_degraded;
+          match run_attempt ~degraded:true with
+          | v -> Ok v
+          | exception Jp_chaos.Injected f ->
+            Error (Failed ("persistent fault: " ^ Jp_chaos.fault_to_string f))
+        end
+      in
+      go 0
+    with
+    | Cancel.Cancelled Cancel.Deadline -> Error Deadline_exceeded
+    | Cancel.Cancelled Cancel.Requested -> Error Cancelled
+    | e -> Error (Failed (Printexc.to_string e))
+  in
+  (match outcome with
+  | Ok _ -> Jp_obs.incr C.service_completed
+  | Error Deadline_exceeded -> Jp_obs.incr C.service_deadline
+  | Error Cancelled -> Jp_obs.incr C.service_cancelled
+  | Error (Failed _) -> Jp_obs.incr C.service_failed
+  | Error Overloaded -> ());
+  resolve tk
+    {
+      outcome;
+      attempts = !attempts;
+      retries = !retries;
+      degraded = !degraded;
+      queued_s = started -. submitted_at;
+      ran_s = Timer.now () -. started;
+    }
+
+let rejected_report =
+  { outcome = Error Overloaded; attempts = 0; retries = 0; degraded = false;
+    queued_s = 0.0; ran_s = 0.0 }
+
+let aborted_report =
+  { rejected_report with outcome = Error Cancelled }
+
+let submit t ?(key = 0) ?deadline_s work =
+  Jp_obs.incr C.service_submitted;
+  let deadline_s =
+    match deadline_s with Some _ as d -> d | None -> t.cfg.default_deadline_s
+  in
+  let cancel = Cancel.create ?deadline_s () in
+  let tk =
+    { tlock = Mutex.create (); tcond = Condition.create (); result = None;
+      tcancel = cancel }
+  in
+  let submitted_at = Timer.now () in
+  let job =
+    {
+      exec =
+        (fun () ->
+          Jp_obs.span "service.query" (fun () ->
+              run_query t ~key ~cancel ~submitted_at ~work tk));
+      abort = (fun () -> resolve tk aborted_report);
+    }
+  in
+  Mutex.lock t.lock;
+  let accepted =
+    (not t.stopping) && Queue.length t.queue < t.cfg.queue_capacity
+  in
+  if accepted then begin
+    Queue.push job t.queue;
+    Condition.signal t.nonempty
+  end;
+  Mutex.unlock t.lock;
+  if accepted then Jp_obs.incr C.service_accepted
+  else begin
+    Jp_obs.incr C.service_rejected;
+    resolve tk rejected_report
+  end;
+  tk
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let fresh = not t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let leftover =
+    if fresh then begin
+      let jobs = List.of_seq (Queue.to_seq t.queue) in
+      Queue.clear t.queue;
+      jobs
+    end
+    else []
+  in
+  let domains = t.domains in
+  if fresh then t.domains <- [];
+  Mutex.unlock t.lock;
+  if fresh then begin
+    List.iter Domain.join domains;
+    Jp_obs.add C.service_workers_joined (List.length domains);
+    List.iter (fun j -> j.abort ()) leftover
+  end

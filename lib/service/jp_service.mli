@@ -1,0 +1,93 @@
+(** A resilient multi-domain query service.
+
+    The engines in this repository are libraries: call them wrong, or on
+    a hostile input, and the caller eats the exception and the latency.
+    This module wraps them in the server loop a deployment would need —
+    a fixed pool of worker domains pulling queries off a {e bounded}
+    submission queue — and makes the failure behaviour a contract:
+
+    - {b Admission control}: a full queue (or a stopping service)
+      rejects the query immediately with {!Overloaded} instead of
+      queueing unboundedly.
+    - {b Deadlines}: each query carries a {!Jp_util.Cancel} token with
+      an optional wall-clock deadline; engines poll it at their existing
+      checkpoint granularity, so an expired query frees its domain
+      promptly and reports {!Deadline_exceeded}.
+    - {b Retry and degradation}: transient faults (injected by
+      {!Jp_chaos} or real) are retried with exponential backoff; when
+      retries run out, one final attempt runs with [~degraded:true],
+      which the work closure should map to the safe non-matrix path
+      (e.g. [Jp_adaptive.Guard.safe]).  A query therefore returns
+      exactly the fault-free result or a typed {!error} — never a
+      wrong answer.
+
+    Everything the service does is visible through the [service.*]
+    counters and [service.query]/[service.attempt] spans of {!Jp_obs}
+    when recording is on. *)
+
+module Cancel = Jp_util.Cancel
+
+type error =
+  | Overloaded  (** rejected at admission: queue full or shutting down *)
+  | Deadline_exceeded  (** the query's deadline passed before it finished *)
+  | Cancelled  (** client cancelled (or the service shut down under it) *)
+  | Failed of string  (** retries and degradation both exhausted *)
+
+val error_to_string : error -> string
+
+type config = {
+  workers : int;  (** worker domains (clamped to available cores, min 1) *)
+  queue_capacity : int;  (** admission bound; 0 rejects everything *)
+  max_retries : int;  (** transient-fault retries before degrading *)
+  backoff_s : float;  (** base backoff; attempt [n] waits [backoff_s * 2^n] *)
+  default_deadline_s : float option;
+      (** deadline for queries submitted without one *)
+  chaos : Jp_chaos.config option;  (** arm fault injection on every attempt *)
+}
+
+val default : config
+(** 1 worker, capacity 16, 2 retries, 5 ms base backoff, no default
+    deadline, no chaos. *)
+
+type 'a report = {
+  outcome : ('a, error) result;
+  attempts : int;  (** work-closure invocations, including the degraded one *)
+  retries : int;  (** re-runs caused by transient faults *)
+  degraded : bool;  (** the returned value came from the degraded attempt *)
+  queued_s : float;  (** admission to first execution *)
+  ran_s : float;  (** execution (all attempts and backoffs) *)
+}
+
+type 'a ticket
+(** Handle for one submitted query. *)
+
+type t
+
+val create : config -> t
+(** Spawn the worker domains.  Every service must be {!shutdown}. *)
+
+val submit :
+  t ->
+  ?key:int ->
+  ?deadline_s:float ->
+  (cancel:Cancel.t -> attempt:int -> degraded:bool -> 'a) ->
+  'a ticket
+(** Submit a query.  The work closure must thread [cancel] into the
+    engines it calls ([?cancel:] everywhere) and honour [degraded] by
+    switching to the safe non-matrix path; [attempt] is 0-based.  [key]
+    identifies the query to the chaos planner — pass a stable workload
+    index for reproducible fault injection (default 0).  A query
+    rejected at admission yields a ticket already resolved to
+    [Error Overloaded]. *)
+
+val await : 'a ticket -> 'a report
+(** Block until the query resolves.  Safe from any domain; idempotent. *)
+
+val cancel : 'a ticket -> unit
+(** Request cancellation.  The query resolves to [Error Cancelled] at
+    its next checkpoint (unless it already finished). *)
+
+val shutdown : t -> unit
+(** Stop admitting, wake and join every worker (in-flight queries run to
+    completion), then resolve still-queued tickets to [Error Cancelled].
+    Idempotent. *)

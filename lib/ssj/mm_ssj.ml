@@ -2,12 +2,13 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Counted_pairs = Jp_relation.Counted_pairs
 
-let join_counted ?(domains = 1) ?guard r =
+let join_counted ?(domains = 1) ?guard ?cancel r =
   Jp_obs.span "ssj.mm_counted" (fun () ->
-      Joinproj.Two_path.project_counts ~domains ?guard ~r ~s:r ())
+      Joinproj.Two_path.project_counts ~domains ?guard ?cancel ~r ~s:r ())
 
-let join ?(domains = 1) ?guard ~c r =
+let join ?(domains = 1) ?guard ?cancel ~c r =
   if c < 1 then invalid_arg "Mm_ssj.join: c must be >= 1";
   Jp_obs.span "ssj.mm_join" (fun () ->
-      let counted = join_counted ~domains ?guard r in
+      let counted = join_counted ~domains ?guard ?cancel r in
+      (match cancel with Some t -> Jp_util.Cancel.check t | None -> ());
       Jp_obs.span "ssj.threshold" (fun () -> Common.upper_pairs counted ~c))

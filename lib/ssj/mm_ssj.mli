@@ -9,12 +9,21 @@ module Pairs = Jp_relation.Pairs
 module Counted_pairs = Jp_relation.Counted_pairs
 
 val join :
-  ?domains:int -> ?guard:Jp_adaptive.Guard.config -> c:int -> Relation.t -> Pairs.t
+  ?domains:int ->
+  ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Jp_util.Cancel.t ->
+  c:int ->
+  Relation.t ->
+  Pairs.t
 (** Pairs (i, j), i < j, of distinct sets with |i ∩ j| ≥ c.  [guard]
     supervises the underlying counted join-project
     (see {!Joinproj.Two_path.project_counts}). *)
 
 val join_counted :
-  ?domains:int -> ?guard:Jp_adaptive.Guard.config -> Relation.t -> Counted_pairs.t
+  ?domains:int ->
+  ?guard:Jp_adaptive.Guard.config ->
+  ?cancel:Jp_util.Cancel.t ->
+  Relation.t ->
+  Counted_pairs.t
 (** The underlying counted self-join (all pairs with ≥ 1 common element,
     with exact intersection sizes) — the input to ordered enumeration. *)

@@ -13,14 +13,20 @@
       multiplicities instead of booleans.
 
     All variants parallelize over x with per-worker scratch (coordination
-    free, as exploited by Figures 4d/4e). *)
+    free, as exploited by Figures 4d/4e).
+
+    With [?cancel] the expansion polls the token every few thousand x's
+    (per worker) and raises {!Jp_util.Cancel.Cancelled}; without it the
+    code path is exactly the historical one. *)
 
 module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Counted_pairs = Jp_relation.Counted_pairs
+module Cancel = Jp_util.Cancel
 
 val project :
   ?domains:int ->
+  ?cancel:Cancel.t ->
   ?xs:int array ->
   ?keep_y:(int -> bool) ->
   ?keep_zy:(int -> int -> bool) ->
@@ -35,6 +41,7 @@ val project :
 
 val project_counts :
   ?domains:int ->
+  ?cancel:Cancel.t ->
   ?xs:int array ->
   ?keep_y:(int -> bool) ->
   ?keep_zy:(int -> int -> bool) ->

@@ -26,12 +26,12 @@ let test_partition_classification () =
   (* y=0 has degree 3 in both relations; y=1 degree 1. *)
   let r = Relation.of_edges [| (0, 0); (1, 0); (2, 0); (3, 1) |] in
   let s = Relation.of_edges [| (0, 0); (1, 0); (2, 0); (3, 1) |] in
-  let p = Partition.make ~r ~s ~d1:1 ~d2:1 in
+  let p = Partition.make ~r ~s ~d1:1 ~d2:1 () in
   Alcotest.(check bool) "y=0 heavy" false (Partition.is_light_y p 0);
   Alcotest.(check bool) "y=1 light" true (Partition.is_light_y p 1);
   (* x degrees are all 1 <= d2, so no heavy endpoints despite heavy y *)
   Alcotest.(check int) "no heavy x" 0 (Array.length p.heavy_x);
-  let p2 = Partition.make ~r ~s ~d1:3 ~d2:3 in
+  let p2 = Partition.make ~r ~s ~d1:3 ~d2:3 () in
   Alcotest.(check int) "all light" 0 (Array.length p2.heavy_y)
 
 let test_partition_prunes_zero_rows () =
@@ -42,7 +42,7 @@ let test_partition_prunes_zero_rows () =
   let s =
     Relation.of_edges [| (9, 0); (8, 0); (7, 0); (6, 0); (5, 1); (5, 2); (5, 3) |]
   in
-  let p = Partition.make ~r ~s ~d1:2 ~d2:2 in
+  let p = Partition.make ~r ~s ~d1:2 ~d2:2 () in
   Alcotest.(check (list int)) "heavy y" [ 0 ] (Array.to_list p.heavy_y);
   (* x=0 has degree 3 > 2 but no heavy y neighbour: pruned; same for z=5,
      whose neighbours y=1,2,3 are all light. *)
@@ -50,7 +50,7 @@ let test_partition_prunes_zero_rows () =
   Alcotest.(check (list int)) "heavy z pruned" [] (Array.to_list p.heavy_z);
   Alcotest.check_raises "bad thresholds"
     (Invalid_argument "Partition.make: thresholds must be >= 1") (fun () ->
-      ignore (Partition.make ~r ~s ~d1:0 ~d2:1))
+      ignore (Partition.make ~r ~s ~d1:0 ~d2:1 ()))
 
 let forced_plan d1 d2 =
   {

@@ -185,6 +185,43 @@ let test_guarded_bsi_agrees () =
         (Jp_bsi.Bsi.answer_batch ~guard:(guard_of f) ~r ~s:r queries = reference))
     guard_factors
 
+(* Served variants join the matrix too: routing a query through
+   Jp_service (worker domain, cancel token, ticket) must hand back the
+   same pairs as calling the engine directly. *)
+let test_served_two_path_agrees () =
+  let svc = Jp_service.create Jp_service.default in
+  Fun.protect
+    ~finally:(fun () -> Jp_service.shutdown svc)
+    (fun () ->
+      List.iter
+        (fun name ->
+          let r = small name in
+          let reference = Joinproj.Two_path.project ~r ~s:r () in
+          List.iter
+            (fun (engine, run) ->
+              let tk =
+                Jp_service.submit svc (fun ~cancel ~attempt:_ ~degraded:_ ->
+                    run ~cancel r)
+              in
+              match (Jp_service.await tk).Jp_service.outcome with
+              | Ok pairs ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "served %s on %s" engine (Presets.to_string name))
+                  true
+                  (Pairs.equal reference pairs)
+              | Error e ->
+                Alcotest.failf "served %s on %s: %s" engine
+                  (Presets.to_string name)
+                  (Jp_service.error_to_string e))
+            [
+              ("mmjoin", fun ~cancel r -> Joinproj.Two_path.project ~cancel ~r ~s:r ());
+              ( "nonmm",
+                fun ~cancel r ->
+                  Joinproj.Two_path.project
+                    ~strategy:Joinproj.Two_path.Combinatorial ~cancel ~r ~s:r () );
+            ])
+        Presets.all)
+
 let test_ordered_consistent_with_unordered () =
   let r = small Presets.Words in
   let c = 2 in
@@ -205,4 +242,5 @@ let suite =
     Alcotest.test_case "guarded ssj agrees" `Quick test_guarded_ssj_agrees;
     Alcotest.test_case "guarded scj agrees" `Quick test_guarded_scj_agrees;
     Alcotest.test_case "guarded bsi agrees" `Quick test_guarded_bsi_agrees;
+    Alcotest.test_case "served two-path agrees" `Quick test_served_two_path_agrees;
   ]

@@ -21,5 +21,6 @@ let () =
       ("dynamic", Test_dynamic.suite);
       ("obs", Test_obs.suite);
       ("adaptive", Test_adaptive.suite);
+      ("service", Test_service.suite);
       ("properties", Test_properties.suite);
     ]
