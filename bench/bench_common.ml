@@ -69,13 +69,31 @@ let counter_delta before after =
       if v - v0 <> 0 then Some (name, v - v0) else None)
     after
 
+(* The [counters] delta drops zero entries, so consumers watching cache
+   behaviour would see the cache.* keys flicker in and out of the record.
+   Summarize them in a dedicated, always-present object (old fields stay
+   exactly as they were). *)
+let cache_summary counters =
+  let open Jp_obs.Json in
+  let get n = Option.value ~default:0 (List.assoc_opt n counters) in
+  Obj
+    [
+      ("hit", Int (get "cache.hit"));
+      ("miss", Int (get "cache.miss"));
+      ("evict", Int (get "cache.evict"));
+      ("reject", Int (get "cache.reject"));
+      ("invalidate", Int (get "cache.invalidate"));
+      ("bytes", Int (get "cache.bytes"));
+    ]
+
 let emit_record ?checksum ~label ~seconds counters =
   let open Jp_obs.Json in
   let fields =
     [ ("experiment", String !current_tag); ("label", String label);
       ("seconds", Float seconds) ]
     @ (match checksum with Some c -> [ ("checksum", Int c) ] | None -> [])
-    @ [ ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters)) ]
+    @ [ ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters));
+        ("cache", cache_summary counters) ]
   in
   json_records := Obj fields :: !json_records
 

@@ -29,6 +29,7 @@ let experiments =
     ("ABL", Bench_ablation.all);
     ("ABL-GUARD", Bench_ablation.guard);
     ("ABL-CHAOS", Bench_ablation.chaos);
+    ("ABL-CACHE", Bench_ablation.semantic_cache);
   ]
 
 let () =

@@ -566,47 +566,90 @@ let stats_cmd =
    workload — and the chaos plan keyed on the query index — is
    reproducible).  Expected outputs come from direct, fault-free engine
    calls before the service starts; a served query must match them
-   exactly or end in a typed error. *)
-let service_workload ~seed ~domains ~nq r =
+   exactly or end in a typed error.
+
+   With [skew] > 0 the queries draw their identity from a pool of
+   [~nq/4] distinct sub-relations with Zipf([skew]) popularity — the
+   repeated-query traffic a semantic cache exists for.  [skew] = 0 keeps
+   the historical one-distinct-query-per-submission workload. *)
+let service_workload ~seed ~domains ~nq ~skew r =
   let n = Relation.src_count r in
+  let distinct = if skew > 0.0 then max 1 ((nq + 3) / 4) else nq in
+  let ident =
+    if skew > 0.0 then begin
+      let z = Jp_workload.Zipf.create ~exponent:skew distinct in
+      let g = Jp_util.Rng.create (seed + 13) in
+      Array.init nq (fun _ -> Jp_workload.Zipf.sample z g)
+    end
+    else Array.init nq (fun i -> i)
+  in
   let engine_of i =
-    match i mod 4 with
+    match ident.(i) mod 4 with
     | 0 -> ("mm", `Mm)
     | 1 -> ("nonmm", `Nonmm)
     | 2 -> ("ssj", `Ssj)
     | _ -> ("scj", `Scj)
   in
   let subs =
-    Array.init nq (fun i ->
-        let g = Jp_util.Rng.create (seed + (7919 * i)) in
+    Array.init distinct (fun d ->
+        let g = Jp_util.Rng.create (seed + (7919 * d)) in
         let frac = 0.3 +. Jp_util.Rng.float g 0.4 in
         let keep = Array.init n (fun _ -> Jp_util.Rng.float g 1.0 < frac) in
         Relation.restrict_src r (fun a -> keep.(a)))
   in
-  let count_of ?guard ?cancel i =
-    let sub = subs.(i) in
+  let sub_of i = subs.(ident.(i)) in
+  let count_of ?guard ?cancel ?cache i =
+    let sub = sub_of i in
+    let memo =
+      Option.map (fun c -> Jp_cache.two_path_memo c ~r:sub ~s:sub) cache
+    in
     match snd (engine_of i) with
     | `Mm ->
       Jp_relation.Pairs.count
-        (Two_path.project ~domains ?guard ?cancel ~r:sub ~s:sub ())
+        (Two_path.project ~domains ?guard ?cancel ?memo ~r:sub ~s:sub ())
     | `Nonmm ->
       Jp_relation.Pairs.count
         (Two_path.project ~domains ~strategy:Two_path.Combinatorial ?guard
            ?cancel ~r:sub ~s:sub ())
     | `Ssj ->
-      Jp_relation.Pairs.count (Jp_ssj.Mm_ssj.join ~domains ?guard ?cancel ~c:2 sub)
+      Jp_relation.Pairs.count
+        (Jp_ssj.Mm_ssj.join ~domains ?guard ?cancel ?cache ~c:2 sub)
     | `Scj ->
-      Jp_relation.Pairs.count (Jp_scj.Mm_scj.join ~domains ?guard ?cancel sub)
+      Jp_relation.Pairs.count (Jp_scj.Mm_scj.join ~domains ?guard ?cancel ?cache sub)
   in
-  (engine_of, count_of)
+  (engine_of, count_of, ident, sub_of)
 
 let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-    ~retries ~backoff_ms ~deadline_ms ~chaos =
+    ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew =
   let r = load_source name input scale seed in
   Jp_obs.reset ();
   Jp_obs.enable ();
-  let engine_of, count_of = service_workload ~seed ~domains ~nq r in
+  let engine_of, count_of, ident, sub_of =
+    service_workload ~seed ~domains ~nq ~skew r
+  in
+  (* Expected answers come from direct, cache-free calls: the cache must
+     only ever reproduce them. *)
   let expected = Array.init nq (fun i -> count_of i) in
+  let cache =
+    if cache_mb > 0 then
+      Some (Jp_cache.create ~config:(Jp_cache.with_budget_mb cache_mb) ())
+    else None
+  in
+  let count_tag : int Jp_cache.tag = Jp_cache.tag "serve.count" in
+  let binding_of i =
+    Option.map
+      (fun c ->
+        let key =
+          Jp_cache.Key.of_relations ~kind:"serve.result"
+            ~params:[ ident.(i) mod 4 ]
+            [ sub_of i ]
+        in
+        Jp_cache.binding c count_tag key
+          ~bytes_of:(fun _ -> 16)
+          ~verify:(fun v -> v = expected.(i))
+          ())
+      cache
+  in
   let cfg =
     {
       Jp_service.workers;
@@ -618,17 +661,28 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
     }
   in
   let svc = Jp_service.create cfg in
-  let tickets =
-    Array.init nq (fun i ->
-        Jp_service.submit svc ~key:i (fun ~cancel ~attempt:_ ~degraded ->
-            let guard = if degraded then Some Jp_adaptive.Guard.safe else None in
-            count_of ?guard ~cancel i))
+  let submit_one i =
+    Jp_service.submit svc ~key:i ?cached:(binding_of i)
+      (fun ~cancel ~attempt:_ ~degraded ->
+        let guard = if degraded then Some Jp_adaptive.Guard.safe else None in
+        count_of ?guard ~cancel ?cache i)
   in
-  let reports = Array.map Jp_service.await tickets in
+  let reports =
+    if Option.is_none cache then
+      (* Historical open-loop client: everything is in flight at once
+         (this is what exercises admission control). *)
+      Array.map Jp_service.await (Array.init nq submit_one)
+    else
+      (* Closed-loop when the cache is armed: a repeated query can only
+         hit an entry once the earlier identical query has completed and
+         published. *)
+      Array.init nq (fun i -> Jp_service.await (submit_one i))
+  in
   Jp_service.shutdown svc;
   let wrong = ref 0 in
   let header =
-    [ "q"; "engine"; "outcome"; "att"; "retry"; "deg"; "out"; "expect"; "ok"; "ran" ]
+    [ "q"; "engine"; "outcome"; "att"; "retry"; "deg"; "hit"; "out"; "expect";
+      "ok"; "ran" ]
   in
   let rows =
     List.init nq (fun i ->
@@ -648,6 +702,7 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
           string_of_int rep.Jp_service.attempts;
           string_of_int rep.Jp_service.retries;
           (if rep.Jp_service.degraded then "yes" else "-");
+          (if rep.Jp_service.cache_hit then "yes" else "-");
           out;
           string_of_int expected.(i);
           ok;
@@ -657,6 +712,10 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
   Jp_util.Tablefmt.print ~header ~rows;
   print_newline ();
   print_string (Jp_obs.render_counters ());
+  (match cache with
+  | None -> ()
+  | Some c ->
+    Format.printf "\n%a@." Jp_cache.pp_stats (Jp_cache.stats c));
   let spawned = Jp_obs.value Jp_obs.C.service_workers_spawned in
   let joined = Jp_obs.value Jp_obs.C.service_workers_joined in
   Jp_obs.disable ();
@@ -714,21 +773,41 @@ let deadline_ms =
     & info [ "deadline-ms" ] ~docv:"MS"
         ~doc:"Per-query deadline; expired queries report a typed error.")
 
+let cache_mb_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "cache-mb" ] ~docv:"MB"
+        ~doc:
+          "Semantic cache budget (prepared statistics, matrix products, \
+           results) in megabytes; 0 disables caching.")
+
+let query_skew =
+  Arg.(
+    value & opt float 0.0
+    & info [ "query-skew" ] ~docv:"EXP"
+        ~doc:
+          "Zipf exponent for query popularity: queries draw from a pool of \
+           Q/4 distinct sub-relations, so hot queries repeat.  0 keeps every \
+           query distinct.")
+
 let serve_cmd =
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms =
+      deadline_ms cache_mb skew =
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-      ~retries ~backoff_ms ~deadline_ms ~chaos:None
+      ~retries ~backoff_ms ~deadline_ms ~chaos:None ~cache_mb ~skew
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run a query workload through the resilient service (bounded queue, \
           worker domains, deadlines) and verify every answer against direct \
-          engine calls.")
+          engine calls.  $(b,--cache-mb) arms the cross-query semantic cache; \
+          $(b,--query-skew) makes the workload Zipf-repeated so it has \
+          something to hit.")
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
-      $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms)
+      $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
+      $ cache_mb_arg $ query_skew)
 
 let stress_cmd =
   let chaos_seed =
@@ -758,7 +837,7 @@ let stress_cmd =
       & info [ "slow-ms" ] ~docv:"MS" ~doc:"Length of injected slowdowns.")
   in
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms chaos_seed p_transient p_kill p_slow slow_ms =
+      deadline_ms cache_mb skew chaos_seed p_transient p_kill p_slow slow_ms =
     let chaos =
       Some
         {
@@ -771,7 +850,7 @@ let stress_cmd =
         }
     in
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-      ~retries ~backoff_ms ~deadline_ms ~chaos
+      ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew
   in
   Cmd.v
     (Cmd.info "stress"
@@ -784,7 +863,8 @@ let stress_cmd =
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
       $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
-      $ chaos_seed $ p_transient $ p_kill $ p_slow $ slow_ms)
+      $ cache_mb_arg $ query_skew $ chaos_seed $ p_transient $ p_kill $ p_slow
+      $ slow_ms)
 
 let calibrate_cmd =
   let run () =

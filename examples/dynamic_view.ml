@@ -9,7 +9,7 @@ module View = Jp_dynamic.View
 
 let () =
   let r = Jp_workload.Presets.load ~scale:0.4 Jp_workload.Presets.Dblp in
-  let view, t_init = Jp_util.Timer.time (fun () -> View.init ~r ~s:r) in
+  let view, t_init = Jp_util.Timer.time (fun () -> View.init ~r ~s:r ()) in
   Printf.printf "materialized view: %s pairs in %s\n"
     (Jp_util.Tablefmt.big_int (View.count view))
     (Jp_util.Tablefmt.seconds t_init);

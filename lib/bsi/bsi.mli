@@ -23,6 +23,7 @@ val answer_batch :
   ?strategy:strategy ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Jp_util.Cancel.t ->
+  ?cache:Jp_cache.t ->
   r:Relation.t ->
   s:Relation.t ->
   (int * int) array ->
@@ -30,7 +31,16 @@ val answer_batch :
 (** [answer_batch ~r ~s queries].(i) tells whether the two sets of query
     [i] share at least one element.  [guard] supervises the per-batch
     join-project under [Mm] (see {!Joinproj.Two_path.project}); the
-    [Combinatorial] comparator is already the safe path and ignores it. *)
+    [Combinatorial] comparator is already the safe path and ignores it.
+
+    With [cache] (and [Mm]), the batch is answered from the Section-5.3
+    amortization artifact instead: one {e full-relation} heavy partition
+    and boolean product, built once and cached under the (r, s)
+    fingerprints and thresholds, short-circuits heavy-heavy queries;
+    the rest fall back to {!answer_one} merge scans.  Answers are
+    byte-identical to the uncached path ([guard] is then moot: there is
+    no per-batch join to supervise).  The cancel token is polled once
+    per 1024 queries. *)
 
 val answer_one : r:Relation.t -> s:Relation.t -> int -> int -> bool
 (** Single-query merge-scan reference (the per-request baseline of
@@ -62,6 +72,7 @@ val simulate :
   ?strategy:strategy ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Jp_util.Cancel.t ->
+  ?cache:Jp_cache.t ->
   r:Relation.t ->
   s:Relation.t ->
   queries:(int * int) array ->

@@ -127,6 +127,19 @@ let prepare ~r ~s =
         p_join_size = lazy (Estimator.join_size ~r ~s);
       })
 
+let seal_prepared prep = ignore (Lazy.force prep.p_join_size)
+
+(* Footprint estimate for cache accounting: the five Stats structures hold
+   cumulative arrays over the y domain (three of them) and the two endpoint
+   domains.  Two words per indexed id is the right order of magnitude; the
+   cache only needs a consistent estimate, not an exact byte count. *)
+let prepared_bytes prep =
+  let ny = max (Relation.dst_count prep.p_r) (Relation.dst_count prep.p_s) in
+  let endpoints =
+    Relation.src_count prep.p_r + Relation.src_count prep.p_s
+  in
+  (8 * 2 * ((3 * ny) + (2 * endpoints))) + 128
+
 let generic_plan ?machine ?(domains = 1) ~kind ?(wcoj_factor = 20)
     ?est_out ?(mm_cost_scale = 1.0) ~counts_mode ~tie_d2 prep () =
   let m = match machine with Some m -> m | None -> Cost.machine () in

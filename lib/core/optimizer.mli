@@ -41,6 +41,15 @@ type prepared
 
 val prepare : r:Relation.t -> s:Relation.t -> prepared
 
+val seal_prepared : prepared -> unit
+(** Forces the lazy join-size component.  [Jp_cache] seals a prepared
+    value before publishing it so that worker domains only ever read an
+    already-forced lazy (forcing the same suspension from two domains
+    concurrently is unsafe in OCaml 5). *)
+
+val prepared_bytes : prepared -> int
+(** Approximate resident footprint in bytes, for cache accounting. *)
+
 val plan :
   ?machine:Cost.machine ->
   ?domains:int ->

@@ -9,6 +9,27 @@ module Cancel = Jp_util.Cancel
 
 type strategy = Matrix | Combinatorial
 
+(* Memoization hooks (consumed by [Jp_cache], which sits above this
+   library in the dependency graph).  Each hook receives the builder for
+   a deterministic intermediate — the prepared optimizer indexes, or a
+   heavy-part matrix product identified by its thresholds — and may
+   return a previously built value for the same (r, s, thresholds)
+   instead of calling it.  A memo is specific to the (r, s) pair it was
+   created for.  [no_memo] (the default) calls every builder directly,
+   so the unhooked paths stay byte-identical. *)
+type memo = {
+  memo_prepared : (unit -> Optimizer.prepared) -> Optimizer.prepared;
+  memo_bool_product : d1:int -> d2:int -> (unit -> Boolmat.t) -> Boolmat.t;
+  memo_count_product : d1:int -> (unit -> Intmat.t) -> Intmat.t;
+}
+
+let no_memo =
+  {
+    memo_prepared = (fun build -> build ());
+    memo_bool_product = (fun ~d1:_ ~d2:_ build -> build ());
+    memo_count_product = (fun ~d1:_ build -> build ());
+  }
+
 (* Cancellation support.  [check_cancel] is the phase-boundary
    checkpoint; chunked merge loops poll every [poll_rows] rows (the
    guard-checkpoint granularity), reusing one merge scratch across
@@ -66,6 +87,11 @@ let heavy_matrices ~domains ~r ~s (p : Partition.t) =
               (Relation.adj_dst s b))
         p.heavy_y;
       Boolmat.mul ~domains m1 m2)
+
+(* Public alias: the BSI fast path builds (and caches) the same product
+   over a full-relation partition, answering heavy-heavy point queries
+   straight from its bits. *)
+let heavy_product ?(domains = 1) ~r ~s p = heavy_matrices ~domains ~r ~s p
 
 (* For heavy y values, pre-split S's inverted list into its light-z and
    heavy-z halves once (O(N)); the per-x merge loop would otherwise rescan
@@ -164,12 +190,16 @@ let merge_range ?scratch ~r ~s ~(p : Partition.t) ~product ~s_light_of_heavy_y
   end;
   !produced
 
-let partitioned_project ?cancel ~phases ~domains ~strategy ~r ~s
+let partitioned_project ?cancel ~phases ~domains ~strategy ~memo ~r ~s
     (p : Partition.t) =
   check_cancel cancel;
   let product =
     match strategy with
-    | Matrix -> Some (phase phases "heavy-mm" (fun () -> heavy_matrices ~domains ~r ~s p))
+    | Matrix ->
+      Some
+        (phase phases "heavy-mm" (fun () ->
+             memo.memo_bool_product ~d1:p.Partition.d1 ~d2:p.Partition.d2
+               (fun () -> heavy_matrices ~domains ~r ~s p)))
     | Combinatorial -> None
   in
   check_cancel cancel;
@@ -235,7 +265,8 @@ let partition_cells (p : Partition.t) =
    Re-planning is always done with clean (un-injected) statistics and
    bounded by the guard's fuel, so the recursion terminates.  A cancel
    token is polled at exactly these checkpoints. *)
-let guarded_project ?cancel ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
+let guarded_project ?cancel ~g ~prep ~domains ~strategy ~memo ~phases ~r ~s
+    plan0 =
   let module Guard = Jp_adaptive.Guard in
   let cfg = Guard.config g in
   let nx = Relation.src_count r in
@@ -335,7 +366,10 @@ let guarded_project ?cancel ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
     let product =
       match !strat with
       | Matrix ->
-        Some (phase phases "heavy-mm" (fun () -> heavy_matrices ~domains ~r ~s p))
+        Some
+          (phase phases "heavy-mm" (fun () ->
+               memo.memo_bool_product ~d1:p.Partition.d1 ~d2:p.Partition.d2
+                 (fun () -> heavy_matrices ~domains ~r ~s p)))
       | Combinatorial -> None
     in
     check_cancel cancel;
@@ -426,7 +460,9 @@ let guarded_project ?cancel ~g ~prep ~domains ~strategy ~phases ~r ~s plan0 =
   run plan0 0;
   Pairs.of_rows_unchecked rows
 
-let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ~r ~s () =
+let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ?memo ~r
+    ~s () =
+  let memo = match memo with Some m -> m | None -> no_memo in
   match guard with
   | Some gcfg ->
     let module Guard = Jp_adaptive.Guard in
@@ -438,7 +474,7 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ~r ~s () =
         let inj = Guard.inject g in
         (* Built at most once per invocation: the initial plan forces it,
            and every later checkpoint re-plan reuses it. *)
-        let prep = lazy (Optimizer.prepare ~r ~s) in
+        let prep = lazy (memo.memo_prepared (fun () -> Optimizer.prepare ~r ~s)) in
         let plan =
           match plan with
           | Some p -> p
@@ -449,8 +485,8 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ~r ~s () =
                   ~mm_cost_scale:inj.Inject.mm_factor (Lazy.force prep) ())
         in
         let result =
-          guarded_project ?cancel ~g ~prep ~domains ~strategy ~phases ~r ~s
-            plan
+          guarded_project ?cancel ~g ~prep ~domains ~strategy ~memo ~phases ~r
+            ~s plan
         in
         if Obs.recording () then
           Obs.record_plan ~label:"two_path" ~replanned:(Guard.replanned g)
@@ -469,8 +505,13 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ~r ~s () =
           match plan with
           | Some p -> p
           | None ->
+            (* [Optimizer.plan] is [plan_prepared (prepare ...)], so
+               routing the prepare through the memo hook changes nothing
+               when the hook is the identity. *)
             phase phases "plan" (fun () ->
-                Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s ())
+                Optimizer.plan_prepared ~domains ~kind:Jp_matrix.Cost.Boolean
+                  (memo.memo_prepared (fun () -> Optimizer.prepare ~r ~s))
+                  ())
         in
         let result =
           match plan.decision with
@@ -483,7 +524,7 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ~r ~s () =
               phase phases "partition" (fun () ->
                   Partition.make ?cancel ~r ~s ~d1 ~d2 ())
             in
-            partitioned_project ?cancel ~phases ~domains ~strategy ~r ~s p
+            partitioned_project ?cancel ~phases ~domains ~strategy ~memo ~r ~s p
         in
         if Obs.recording () then
           Obs.record_plan ~label:"two_path"
@@ -509,7 +550,8 @@ let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ?guard ?cancel
    matrices were actually used — [false] means the cell cap (or an
    explicit [~matrix:false]) forced the combinatorial fallback, which the
    guarded path records as a degradation. *)
-let counted_partitioned ?cancel ~phases ~domains ~r ~s ~d1 ~matrix ~cap () =
+let counted_partitioned ?cancel ~phases ~domains ~memo ~r ~s ~d1 ~matrix ~cap
+    () =
   let ny = max (Relation.dst_count r) (Relation.dst_count s) in
   let deg_ry y = if y < Relation.dst_count r then Relation.deg_dst r y else 0 in
   let deg_sy y = if y < Relation.dst_count s then Relation.deg_dst s y else 0 in
@@ -539,25 +581,34 @@ let counted_partitioned ?cancel ~phases ~domains ~r ~s ~d1 ~matrix ~cap () =
     if not use_matrix then None
     else
       phase phases "heavy-count-mm" (fun () ->
-          (* The count product A·Bᵀ over bit-packed rows (62 multiply-adds
-             per word op): A rows are x's heavy-y bitsets, B rows are z's
-             heavy-y bitsets. *)
-          let y_index = Array.make ny (-1) in
-          Array.iteri (fun j b -> y_index.(b) <- j) heavy_y;
-          let heavy_row rel a =
-            let bits = Jp_util.Vec.create () in
-            Array.iter
-              (fun b ->
-                if b < ny then begin
-                  let j = y_index.(b) in
-                  if j >= 0 then Jp_util.Vec.push bits j
-                end)
-              (Relation.adj_src rel a);
-            Jp_util.Vec.to_array bits
-          in
-          let m1 = Boolmat.of_adjacency ~rows:u ~cols:v (fun i -> heavy_row r hx.(i)) in
-          let m2 = Boolmat.of_adjacency ~rows:w ~cols:v (fun l -> heavy_row s hz.(l)) in
-          Some (Boolmat.count_product ~domains m1 m2))
+          Some
+            (memo.memo_count_product ~d1 (fun () ->
+                 (* The count product A·Bᵀ over bit-packed rows (62
+                    multiply-adds per word op): A rows are x's heavy-y
+                    bitsets, B rows are z's heavy-y bitsets.  The whole
+                    build sits inside the memo thunk: a hit skips it. *)
+                 let y_index = Array.make ny (-1) in
+                 Array.iteri (fun j b -> y_index.(b) <- j) heavy_y;
+                 let heavy_row rel a =
+                   let bits = Jp_util.Vec.create () in
+                   Array.iter
+                     (fun b ->
+                       if b < ny then begin
+                         let j = y_index.(b) in
+                         if j >= 0 then Jp_util.Vec.push bits j
+                       end)
+                     (Relation.adj_src rel a);
+                   Jp_util.Vec.to_array bits
+                 in
+                 let m1 =
+                   Boolmat.of_adjacency ~rows:u ~cols:v (fun i ->
+                       heavy_row r hx.(i))
+                 in
+                 let m2 =
+                   Boolmat.of_adjacency ~rows:w ~cols:v (fun l ->
+                       heavy_row s hz.(l))
+                 in
+                 Boolmat.count_product ~domains m1 m2)))
   in
   let treat_all_light = product = None in
   let nx = Relation.src_count r in
@@ -641,7 +692,8 @@ let counted_partitioned ?cancel ~phases ~domains ~r ~s ~d1 ~matrix ~cap () =
           (Counted_pairs.of_rows_unchecked rows, use_matrix)))
 
 let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel
-    ?(matrix_cell_cap = 200_000_000) ~r ~s () =
+    ?memo ?(matrix_cell_cap = 200_000_000) ~r ~s () =
+  let memo = match memo with Some m -> m | None -> no_memo in
   Obs.span "two_path.project_counts" (fun () ->
       let t0 = Jp_util.Timer.now () in
       check_cancel cancel;
@@ -651,12 +703,15 @@ let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel
         | Some cfg -> Some (Jp_adaptive.Guard.start cfg)
         | None -> None
       in
-      let prep = lazy (Optimizer.prepare ~r ~s) in
+      let prep = lazy (memo.memo_prepared (fun () -> Optimizer.prepare ~r ~s)) in
       let plan =
         match (plan, g) with
         | Some p, _ -> p
         | None, None ->
-          phase phases "plan" (fun () -> Optimizer.plan_counts ~domains ~r ~s ())
+          (* Same plan as [Optimizer.plan_counts], which is
+             [plan_counts_prepared (prepare ...)]. *)
+          phase phases "plan" (fun () ->
+              Optimizer.plan_counts_prepared ~domains (Lazy.force prep) ())
         | None, Some g ->
           (* plan_counts' thresholds do not depend on est_out (d2 is
              pinned), so only the mm-cost component of the injection can
@@ -722,8 +777,8 @@ let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel
               Jp_wcoj.Expand.project_counts ~domains ?cancel ~r ~s ())
         | Optimizer.Partitioned { d1; d2 = _ }, Matrix ->
           let result, used_matrix =
-            counted_partitioned ?cancel ~phases ~domains ~r ~s ~d1 ~matrix:true
-              ~cap ()
+            counted_partitioned ?cancel ~phases ~domains ~memo ~r ~s ~d1
+              ~matrix:true ~cap ()
           in
           (match g with
           | Some g when not used_matrix -> Guard.note_degrade g

@@ -32,12 +32,47 @@ type strategy =
   | Matrix  (** heavy part via {!Jp_matrix.Boolmat.mul} / {!Jp_matrix.Intmat.mul} *)
   | Combinatorial  (** heavy part via stamp-vector expansion (Non-MMJoin) *)
 
+(** Memoization hooks, consumed by [Jp_cache] (which sits above this
+    library in the dependency graph).  Each hook receives the builder of
+    a deterministic, immutable intermediate — the prepared optimizer
+    indexes, or a heavy-part matrix product identified by the partition
+    thresholds — and may return a previously built value for the same
+    (r, s, thresholds) instead of running it.  A memo value is specific
+    to the (r, s) pair it was created for; hooks are consulted once per
+    phase, never per tuple. *)
+type memo = {
+  memo_prepared : (unit -> Optimizer.prepared) -> Optimizer.prepared;
+  memo_bool_product :
+    d1:int -> d2:int -> (unit -> Jp_matrix.Boolmat.t) -> Jp_matrix.Boolmat.t;
+  memo_count_product :
+    d1:int -> (unit -> Jp_matrix.Intmat.t) -> Jp_matrix.Intmat.t;
+}
+
+val no_memo : memo
+(** Identity hooks: every builder runs.  [?memo] absent is exactly
+    [no_memo] — the same byte-identical-path guarantee as [?guard] and
+    [?cancel]. *)
+
+val heavy_product :
+  ?domains:int ->
+  r:Relation.t ->
+  s:Relation.t ->
+  Partition.t ->
+  Jp_matrix.Boolmat.t
+(** The heavy-part boolean product M{_R⁺}·M{_S⁺} for a partition: rows
+    are [heavy_x], columns [heavy_z] (indexes per the partition's
+    [x_index]/[z_index]).  Deterministic in (r, s, thresholds) and
+    independent of [domains] — which is what makes it cacheable.  Used
+    by the BSI fast path to answer heavy-heavy point queries without
+    re-running the join. *)
+
 val project :
   ?domains:int ->
   ?strategy:strategy ->
   ?plan:Optimizer.plan ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Cancel.t ->
+  ?memo:memo ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
@@ -61,6 +96,7 @@ val project_counts :
   ?plan:Optimizer.plan ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Cancel.t ->
+  ?memo:memo ->
   ?matrix_cell_cap:int ->
   r:Relation.t ->
   s:Relation.t ->

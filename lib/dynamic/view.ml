@@ -35,6 +35,11 @@ type t = {
   s_bwd : Adj.t; (* y -> zs *)
   counts : (int * int, int) Hashtbl.t; (* (x,z) -> witnesses > 0 *)
   mutable live : int; (* |OUT| *)
+  (* Cache coherence: every update drops the base relations' entries from
+     the attached cache.  Fingerprints are captured at [init] — the static
+     relations themselves are frozen (see [Relation.fingerprint]); it is
+     this dynamic copy that evolves. *)
+  invalidate : unit -> unit;
 }
 
 let create () =
@@ -45,6 +50,8 @@ let create () =
     s_bwd = Adj.create ();
     counts = Hashtbl.create 1024;
     live = 0;
+    (* an empty view derives from no fingerprinted relation *)
+    invalidate = ignore;
   }
 
 let bump t x z delta =
@@ -58,6 +65,7 @@ let bump t x z delta =
 
 let insert_r t a b =
   if not (Adj.mem t.r_fwd a b) then begin
+    t.invalidate ();
     Adj.add t.r_fwd a b;
     Adj.add t.r_bwd b a;
     (* delta: every z currently joined to b gains a witness with a *)
@@ -66,6 +74,7 @@ let insert_r t a b =
 
 let insert_s t z b =
   if not (Adj.mem t.s_fwd z b) then begin
+    t.invalidate ();
     Adj.add t.s_fwd z b;
     Adj.add t.s_bwd b z;
     Adj.iter_partners t.r_bwd b (fun x -> bump t x z 1)
@@ -73,6 +82,7 @@ let insert_s t z b =
 
 let delete_r t a b =
   if Adj.mem t.r_fwd a b then begin
+    t.invalidate ();
     Adj.remove t.r_fwd a b;
     Adj.remove t.r_bwd b a;
     Adj.iter_partners t.s_bwd b (fun z -> bump t a z (-1))
@@ -80,18 +90,30 @@ let delete_r t a b =
 
 let delete_s t z b =
   if Adj.mem t.s_fwd z b then begin
+    t.invalidate ();
     Adj.remove t.s_fwd z b;
     Adj.remove t.s_bwd b z;
     Adj.iter_partners t.r_bwd b (fun x -> bump t x z (-1))
   end
 
-let init ~r ~s =
+let init ?cache ~r ~s () =
   let t = create () in
   (* load S first so each R insertion's delta is complete by construction
      order; order does not matter for correctness, only locality *)
   Jp_relation.Relation.iter (fun z b -> insert_s t z b) s;
   Jp_relation.Relation.iter (fun a b -> insert_r t a b) r;
-  t
+  match cache with
+  | None -> t
+  | Some c ->
+    let fp_r = Jp_relation.Relation.fingerprint r in
+    let fp_s = Jp_relation.Relation.fingerprint s in
+    {
+      t with
+      invalidate =
+        (fun () ->
+          Jp_cache.invalidate c ~fp:fp_r;
+          Jp_cache.invalidate c ~fp:fp_s);
+    }
 
 let mem t x z = Hashtbl.mem t.counts (x, z)
 

@@ -21,9 +21,24 @@
 
 type t
 
-val init : r:Jp_relation.Relation.t -> s:Jp_relation.Relation.t -> t
+val init :
+  ?cache:Jp_cache.t ->
+  r:Jp_relation.Relation.t ->
+  s:Jp_relation.Relation.t ->
+  unit ->
+  t
 (** Materializes the view (one counted pass over the smaller-side
-    expansion). *)
+    expansion).
+
+    With [cache], the view becomes the invalidation authority for its
+    base relations: every effective update (an insert of a new tuple or
+    a delete of a present one) drops all cache entries keyed on [r]'s or
+    [s]'s fingerprint — prepared statistics, matrix products and results
+    alike — {e before} applying the delta.  The static [r]/[s] values
+    stay frozen (their fingerprints were computed at load); it is the
+    view's dynamic copy that evolves, which is exactly why
+    mutation-based re-fingerprinting is never attempted (see
+    {!Jp_relation.Relation.fingerprint}). *)
 
 val create : unit -> t
 (** The empty view over empty relations (ids grow on demand). *)

@@ -93,6 +93,24 @@ module C = struct
   let chaos_worker_kills = counter "chaos.worker_kills"
 
   let chaos_slowdowns = counter "chaos.slowdowns"
+
+  (* Semantic cache (Jp_cache).  hit/miss count lookups, evict/reject
+     count entries pushed out by the LANDLORD budget or refused by the
+     cost-based admission test, invalidate counts entries dropped by view
+     updates; cache.bytes tracks the resident footprint (bumped by the
+     entry size on insert, by its negation on evict/invalidate, so the
+     counter value is the current gauge). *)
+  let cache_hits = counter "cache.hit"
+
+  let cache_misses = counter "cache.miss"
+
+  let cache_evictions = counter "cache.evict"
+
+  let cache_rejects = counter "cache.reject"
+
+  let cache_invalidations = counter "cache.invalidate"
+
+  let cache_bytes = counter "cache.bytes"
 end
 
 let counter_values () =

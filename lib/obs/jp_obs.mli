@@ -156,6 +156,25 @@ module C : sig
 
   val chaos_slowdowns : counter
   (** Artificial slowdowns actually delivered by [Jp_chaos]. *)
+
+  val cache_hits : counter
+  (** [Jp_cache] lookups answered from a resident entry. *)
+
+  val cache_misses : counter
+  (** [Jp_cache] lookups that found no entry. *)
+
+  val cache_evictions : counter
+  (** Entries pushed out by the LANDLORD byte budget. *)
+
+  val cache_rejects : counter
+  (** Entries refused by the cost-based admission test. *)
+
+  val cache_invalidations : counter
+  (** Entries dropped because a fingerprint was invalidated. *)
+
+  val cache_bytes : counter
+  (** Resident cache footprint gauge (insert adds the entry size,
+      evict/invalidate subtracts it). *)
 end
 
 (** {1 Plan vs actual} *)

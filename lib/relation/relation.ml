@@ -4,6 +4,7 @@ type t = {
   size : int;
   fwd : int array array; (* x -> strictly increasing ys *)
   bwd : int array array; (* y -> strictly increasing xs *)
+  mutable fp : int; (* memoized fingerprint; 0 = not yet computed *)
 }
 
 (* Build one direction of adjacency from a flat pair buffer by counting
@@ -58,7 +59,7 @@ let rebuild_from_fwd ~src_count ~dst_count fwd =
           fill.(d) <- fill.(d) + 1)
         row)
     fwd;
-  { src_count; dst_count; size; fwd; bwd }
+  { src_count; dst_count; size; fwd; bwd; fp = 0 }
 
 (* Visiting x in increasing order in [rebuild_from_fwd] keeps every bwd row
    sorted for free. *)
@@ -152,6 +153,7 @@ let transpose r =
     size = r.size;
     fwd = r.bwd;
     bwd = r.fwd;
+    fp = 0;
   }
 
 let filter r keep =
@@ -219,6 +221,30 @@ let degrees_dst r = Array.map Array.length r.bwd
 
 let equal a b =
   a.src_count = b.src_count && a.dst_count = b.dst_count && a.fwd = b.fwd
+
+(* Splitmix-style avalanche over the declared id spaces and every fwd row.
+   The constants fit OCaml's 63-bit native int; overflow wraps, which is
+   fine for hashing.  O(|R|) on first call, memoized afterwards: relations
+   are immutable once built (all constructors funnel through
+   [rebuild_from_fwd]), so a single computation at load is sound. *)
+let mix h x =
+  let h = h lxor (x + 0x9e3779b97f4a7c1 + (h lsl 6) + (h lsr 2)) in
+  let h = (h lxor (h lsr 30)) * 0x5851f42d4c957f2 in
+  h lxor (h lsr 27)
+
+let fingerprint r =
+  if r.fp <> 0 then r.fp
+  else begin
+    let h = ref (mix (mix 0x27220a95 r.src_count) r.dst_count) in
+    Array.iter
+      (fun row ->
+        h := mix !h (Array.length row);
+        Array.iter (fun y -> h := mix !h y) row)
+      r.fwd;
+    let f = if !h = 0 then 1 else !h in
+    r.fp <- f;
+    f
+  end
 
 let pp fmt r =
   Format.fprintf fmt "@[<v>relation %dx%d, %d tuples@," r.src_count r.dst_count r.size;

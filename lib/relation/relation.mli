@@ -90,5 +90,16 @@ val degrees_dst : t -> int array
 val equal : t -> t -> bool
 (** Same tuple sets and same declared id spaces. *)
 
+val fingerprint : t -> int
+(** Structural hash over the declared id spaces and every tuple, suitable
+    as a cache key: [equal a b] implies [fingerprint a = fingerprint b].
+    O(|R|) on the first call, memoized afterwards.  This is sound because
+    relations are immutable once constructed — but note that {!adj_src} /
+    {!adj_dst} return arrays {e shared} with the index, so a caller that
+    (wrongly) mutated one would silently invalidate every fingerprint-keyed
+    cache entry; invalidation by re-fingerprinting after mutation cannot
+    work.  Compute fingerprints once at load and treat relations as frozen
+    (the dynamic-view library rebuilds relations instead of mutating). *)
+
 val pp : Format.formatter -> t -> unit
 (** Debug printer: cardinalities plus the first few tuples. *)

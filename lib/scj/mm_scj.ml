@@ -2,10 +2,16 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Vec = Jp_util.Vec
 
-let join ?(domains = 1) ?guard ?cancel r =
+let join ?(domains = 1) ?guard ?cancel ?cache r =
   Jp_obs.span "scj.mm_join" (fun () ->
+      let memo =
+        match cache with
+        | None -> None
+        | Some c -> Some (Jp_cache.two_path_memo c ~r ~s:r)
+      in
       let counted =
-        Joinproj.Two_path.project_counts ~domains ?guard ?cancel ~r ~s:r ()
+        Joinproj.Two_path.project_counts ~domains ?guard ?cancel ?memo ~r ~s:r
+          ()
       in
       (match cancel with Some t -> Jp_util.Cancel.check t | None -> ());
       Jp_obs.span "scj.containment_filter" (fun () ->

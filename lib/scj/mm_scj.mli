@@ -12,8 +12,11 @@ val join :
   ?domains:int ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Jp_util.Cancel.t ->
+  ?cache:Jp_cache.t ->
   Relation.t ->
   Pairs.t
 (** Directed containment pairs (a, b): set a ⊆ set b, a ≠ b.  [guard]
     supervises the underlying counted join-project
-    (see {!Joinproj.Two_path.project_counts}). *)
+    (see {!Joinproj.Two_path.project_counts}); [cache] serves its
+    prepared statistics and heavy count product from {!Jp_cache} (same
+    byte-identical-result guarantee as [guard]/[cancel] when absent). *)

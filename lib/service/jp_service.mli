@@ -21,6 +21,13 @@
       exactly the fault-free result or a typed {!error} — never a
       wrong answer.
 
+    - {b Caching}: a query submitted with a {!Jp_cache.binding} consults
+      the cache {e before} dispatch — a hit resolves immediately, with no
+      queue slot or worker attempt — and publishes its result after
+      verification.  Only a clean success publishes: a cancelled, faulted
+      or degraded attempt never installs an entry, so the cache can only
+      ever serve the fault-free answer.
+
     Everything the service does is visible through the [service.*]
     counters and [service.query]/[service.attempt] spans of {!Jp_obs}
     when recording is on. *)
@@ -54,6 +61,7 @@ type 'a report = {
   attempts : int;  (** work-closure invocations, including the degraded one *)
   retries : int;  (** re-runs caused by transient faults *)
   degraded : bool;  (** the returned value came from the degraded attempt *)
+  cache_hit : bool;  (** served from the cache: [attempts = 0], no worker ran *)
   queued_s : float;  (** admission to first execution *)
   ran_s : float;  (** execution (all attempts and backoffs) *)
 }
@@ -70,6 +78,7 @@ val submit :
   t ->
   ?key:int ->
   ?deadline_s:float ->
+  ?cached:'a Jp_cache.binding ->
   (cancel:Cancel.t -> attempt:int -> degraded:bool -> 'a) ->
   'a ticket
 (** Submit a query.  The work closure must thread [cancel] into the
@@ -78,7 +87,14 @@ val submit :
     identifies the query to the chaos planner — pass a stable workload
     index for reproducible fault injection (default 0).  A query
     rejected at admission yields a ticket already resolved to
-    [Error Overloaded]. *)
+    [Error Overloaded].
+
+    [cached] names the query's result slot in a {!Jp_cache}: a resident
+    entry resolves the ticket immediately ([cache_hit = true], counted
+    as accepted + completed); otherwise the query runs normally and a
+    clean, non-degraded [Ok] outcome is offered back through
+    {!Jp_cache.binding_publish} (verify-then-publish; admission is
+    cost-based, see {!Jp_cache.offer}). *)
 
 val await : 'a ticket -> 'a report
 (** Block until the query resolves.  Safe from any domain; idempotent. *)

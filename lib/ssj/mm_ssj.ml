@@ -2,13 +2,19 @@ module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Counted_pairs = Jp_relation.Counted_pairs
 
-let join_counted ?(domains = 1) ?guard ?cancel r =
-  Jp_obs.span "ssj.mm_counted" (fun () ->
-      Joinproj.Two_path.project_counts ~domains ?guard ?cancel ~r ~s:r ())
+let memo_of ?cache r =
+  match cache with
+  | None -> None
+  | Some c -> Some (Jp_cache.two_path_memo c ~r ~s:r)
 
-let join ?(domains = 1) ?guard ?cancel ~c r =
+let join_counted ?(domains = 1) ?guard ?cancel ?cache r =
+  Jp_obs.span "ssj.mm_counted" (fun () ->
+      let memo = memo_of ?cache r in
+      Joinproj.Two_path.project_counts ~domains ?guard ?cancel ?memo ~r ~s:r ())
+
+let join ?(domains = 1) ?guard ?cancel ?cache ~c r =
   if c < 1 then invalid_arg "Mm_ssj.join: c must be >= 1";
   Jp_obs.span "ssj.mm_join" (fun () ->
-      let counted = join_counted ~domains ?guard ?cancel r in
+      let counted = join_counted ~domains ?guard ?cancel ?cache r in
       (match cancel with Some t -> Jp_util.Cancel.check t | None -> ());
       Jp_obs.span "ssj.threshold" (fun () -> Common.upper_pairs counted ~c))

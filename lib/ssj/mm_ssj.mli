@@ -12,17 +12,21 @@ val join :
   ?domains:int ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Jp_util.Cancel.t ->
+  ?cache:Jp_cache.t ->
   c:int ->
   Relation.t ->
   Pairs.t
 (** Pairs (i, j), i < j, of distinct sets with |i ∩ j| ≥ c.  [guard]
     supervises the underlying counted join-project
-    (see {!Joinproj.Two_path.project_counts}). *)
+    (see {!Joinproj.Two_path.project_counts}); [cache] serves its
+    prepared statistics and heavy count product from {!Jp_cache} (same
+    byte-identical-result guarantee as [guard]/[cancel] when absent). *)
 
 val join_counted :
   ?domains:int ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Jp_util.Cancel.t ->
+  ?cache:Jp_cache.t ->
   Relation.t ->
   Counted_pairs.t
 (** The underlying counted self-join (all pairs with ≥ 1 common element,

@@ -6,7 +6,7 @@ let counted_list v = Gen.counted_to_list (View.to_counted_pairs v)
 let test_init_matches_static () =
   let r = Gen.skewed_relation ~seed:501 ~nx:25 ~ny:20 ~edges:150 () in
   let s = Gen.skewed_relation ~seed:502 ~nx:22 ~ny:20 ~edges:130 () in
-  let v = View.init ~r ~s in
+  let v = View.init ~r ~s () in
   Alcotest.(check (list (pair (pair int int) int)))
     "init = recomputation" (Gen.brute_two_path_counts ~r ~s) (counted_list v);
   Alcotest.(check int) "count" (List.length (Gen.brute_two_path ~r ~s)) (View.count v)
@@ -73,7 +73,7 @@ let prop_random_updates =
 let test_update_after_init () =
   let r = Gen.random_relation ~seed:503 ~nx:15 ~ny:12 ~edges:60 () in
   let s = Gen.random_relation ~seed:504 ~nx:14 ~ny:12 ~edges:55 () in
-  let v = View.init ~r ~s in
+  let v = View.init ~r ~s () in
   (* apply a batch of post-init updates and compare with recomputation *)
   let victim_x =
     let rec go x = if Relation.deg_src r x > 0 then x else go (x + 1) in

@@ -222,6 +222,60 @@ let test_served_two_path_agrees () =
             ])
         Presets.all)
 
+(* Cached variants join the matrix: every engine runs twice through one
+   shared Jp_cache (the first pass fills it, the second hits), and both
+   passes must return exactly the uncached reference.  One cache instance
+   spans all presets — cross-dataset pollution must be impossible because
+   every key carries the relations' fingerprints. *)
+let test_cached_engines_agree () =
+  let cache = Jp_cache.create () in
+  List.iter
+    (fun name ->
+      let r = small name in
+      let ds = Presets.to_string name in
+      let memo () = Jp_cache.two_path_memo cache ~r ~s:r in
+      let reference = Joinproj.Two_path.project ~r ~s:r () in
+      for pass = 1 to 2 do
+        Alcotest.(check bool)
+          (Printf.sprintf "cached two-path pass %d on %s" pass ds)
+          true
+          (Pairs.equal reference
+             (Joinproj.Two_path.project ~memo:(memo ()) ~r ~s:r ()))
+      done;
+      let counted_ref = Joinproj.Two_path.project_counts ~r ~s:r () in
+      for pass = 1 to 2 do
+        Alcotest.(check bool)
+          (Printf.sprintf "cached counts pass %d on %s" pass ds)
+          true
+          (Jp_relation.Counted_pairs.equal counted_ref
+             (Joinproj.Two_path.project_counts ~memo:(memo ()) ~r ~s:r ()))
+      done;
+      let ssj_ref = Jp_ssj.Mm_ssj.join ~c:2 r in
+      for pass = 1 to 2 do
+        Alcotest.(check bool)
+          (Printf.sprintf "cached ssj pass %d on %s" pass ds)
+          true
+          (Pairs.equal ssj_ref (Jp_ssj.Mm_ssj.join ~cache ~c:2 r))
+      done;
+      let scj_ref = Jp_scj.Mm_scj.join r in
+      for pass = 1 to 2 do
+        Alcotest.(check bool)
+          (Printf.sprintf "cached scj pass %d on %s" pass ds)
+          true
+          (Pairs.equal scj_ref (Jp_scj.Mm_scj.join ~cache r))
+      done)
+    Presets.all;
+  let r = small Presets.Jokes in
+  let n = Relation.src_count r in
+  let queries = Jp_workload.Generate.batch_queries ~seed:3 ~count:200 ~nx:n ~nz:n () in
+  let bsi_ref = Jp_bsi.Bsi.answer_batch ~r ~s:r queries in
+  for pass = 1 to 2 do
+    Alcotest.(check bool)
+      (Printf.sprintf "cached bsi pass %d" pass)
+      true
+      (Jp_bsi.Bsi.answer_batch ~cache ~r ~s:r queries = bsi_ref)
+  done
+
 let test_ordered_consistent_with_unordered () =
   let r = small Presets.Words in
   let c = 2 in
@@ -243,4 +297,5 @@ let suite =
     Alcotest.test_case "guarded scj agrees" `Quick test_guarded_scj_agrees;
     Alcotest.test_case "guarded bsi agrees" `Quick test_guarded_bsi_agrees;
     Alcotest.test_case "served two-path agrees" `Quick test_served_two_path_agrees;
+    Alcotest.test_case "cached engines agree" `Quick test_cached_engines_agree;
   ]

@@ -22,5 +22,6 @@ let () =
       ("obs", Test_obs.suite);
       ("adaptive", Test_adaptive.suite);
       ("service", Test_service.suite);
+      ("cache", Test_cache.suite);
       ("properties", Test_properties.suite);
     ]

@@ -74,6 +74,40 @@ let prop_degrees_consistent =
       && Array.to_list ds
          = List.init 16 (fun a -> Array.length (Relation.adj_src r a)))
 
+let test_fingerprint () =
+  let edges = [| (0, 1); (2, 0); (0, 2) |] in
+  let r1 = Relation.of_edges edges in
+  let r2 = Relation.of_edges [| (0, 2); (0, 1); (2, 0); (2, 0) |] in
+  Alcotest.(check bool) "structurally equal relations share a fp" true
+    (Relation.fingerprint r1 = Relation.fingerprint r2);
+  Alcotest.(check int) "memoized (second call identical)"
+    (Relation.fingerprint r1) (Relation.fingerprint r1);
+  let r3 = Relation.of_edges [| (0, 1); (2, 0) |] in
+  Alcotest.(check bool) "different content differs" true
+    (Relation.fingerprint r1 <> Relation.fingerprint r3);
+  let t = Relation.transpose r1 in
+  Alcotest.(check bool) "transpose differs" true
+    (Relation.fingerprint r1 <> Relation.fingerprint t);
+  (* padding dimensions changes the fingerprint: the derived artifacts
+     (matrix shapes, partitions) depend on the declared universe *)
+  let padded = Relation.of_edges ~src_count:10 ~dst_count:10 edges in
+  Alcotest.(check bool) "dimensions are part of the identity" true
+    (Relation.fingerprint r1 <> Relation.fingerprint padded);
+  Alcotest.(check bool) "never the unset sentinel" true
+    (Relation.fingerprint r1 <> 0)
+
+let prop_fingerprint_respects_equality =
+  QCheck.Test.make ~name:"equal relations fingerprint equally" ~count:300
+    QCheck.(
+      pair
+        (small_list (pair (int_bound 5) (int_bound 5)))
+        (small_list (pair (int_bound 5) (int_bound 5))))
+    (fun (p1, p2) ->
+      let build p = Relation.of_edges ~src_count:6 ~dst_count:6 (Array.of_list p) in
+      let r1 = build p1 and r2 = build p2 in
+      (not (Relation.equal r1 r2))
+      || Relation.fingerprint r1 = Relation.fingerprint r2)
+
 let test_stats () =
   (* degrees: value 0 -> 3, value 1 -> 1, value 2 -> 0, value 3 -> 1 *)
   let s = Stats.of_degrees [| 3; 1; 0; 1 |] in
@@ -180,6 +214,8 @@ let suite =
     Alcotest.test_case "of_flat errors" `Quick test_of_flat_errors;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_degrees_consistent;
+    Alcotest.test_case "fingerprint" `Quick test_fingerprint;
+    QCheck_alcotest.to_alcotest prop_fingerprint_respects_equality;
     Alcotest.test_case "stats" `Quick test_stats;
     Alcotest.test_case "stats weights" `Quick test_stats_weights;
     QCheck_alcotest.to_alcotest prop_stats_model;
