@@ -154,18 +154,20 @@ let evict_until t ~need =
         if e.e_credit <= 1e-12 then victims := e :: !victims)
       t.table;
     let victims =
-      List.sort (fun a b -> compare a.e_seq b.e_seq) !victims
+      List.sort (fun a b -> Int.compare a.e_seq b.e_seq) !victims
     in
     (* The minimum-rate entry always lands at zero, so each round evicts
        at least one entry and the loop terminates. *)
+    let evicted = ref 0 in
     List.iter
       (fun e ->
         if Hashtbl.mem t.table e.e_key then begin
           drop_entry t e;
           t.evictions <- t.evictions + 1;
-          Obs.incr Obs.C.cache_evictions
+          Stdlib.incr evicted
         end)
-      victims
+      victims;
+    Obs.add Obs.C.cache_evictions !evicted
   done
 
 let insert t ~key ~fps ~bytes ~cost_s value =

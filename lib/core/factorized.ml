@@ -80,9 +80,15 @@ let build ?plan ?thresholds ~r ~s () =
         if
           Array.length x_side > 0
           && Array.length z_side > 0
-          && not (Hashtbl.mem seen (x_side, z_side))
+          && not
+               (Hashtbl.mem seen (x_side, z_side)
+               [@jp.lint.allow "hashtbl-dedup"
+                 "keys are (int array * int array) biclique signatures; \
+                  structured and sparse, no dense int domain to stamp"])
         then begin
-          Hashtbl.add seen (x_side, z_side) ();
+          (Hashtbl.add seen (x_side, z_side) ()
+          [@jp.lint.allow "hashtbl-dedup"
+            "same structured biclique-signature keys as the mem above"]);
           xa := x_side :: !xa;
           za := z_side :: !za
         end)

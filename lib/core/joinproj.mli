@@ -1,0 +1,32 @@
+(** Fast join-project query evaluation using matrix multiplication.
+
+    OCaml implementation of Deep, Hu and Koutris, SIGMOD 2020: output-
+    sensitive evaluation of the 2-path query Q̈(x,z) = R(x,y), S(z,y) and
+    the star query Q*{_k}, by degree-partitioning tuples between a
+    worst-case-optimal join (light values) and matrix multiplication
+    (heavy values).
+
+    This module is the library's umbrella: it only re-exports the
+    submodules below.  The applications built on these — set similarity,
+    set containment, boolean set intersection, the conjunctive-query
+    engine — live in the sibling libraries [jp_ssj], [jp_scj], [jp_bsi]
+    and [jp_query]. *)
+
+module Partition = Partition
+(** The light/heavy degree partition itself (Section 3.1). *)
+
+module Estimator = Estimator
+(** Output-size estimation (Section 5 + sampling). *)
+
+module Optimizer = Optimizer
+(** Algorithm 3's cost-based planning plus the Lemma-3 closed forms. *)
+
+module Two_path = Two_path
+(** Algorithm 1 (projection with or without witness counts) and the
+    Non-MMJoin combinatorial comparator. *)
+
+module Star = Star
+(** The Section 3.2 star algorithm. *)
+
+module Factorized = Factorized
+(** Compressed (biclique-factorized) join views. *)

@@ -109,9 +109,17 @@ let heavy_matrix_step ?cancel ~builder ~heavy_lists ~qualifying_ys ~dims k
         (fun j y ->
           let lists = heavy_lists y in
           iter_combos (Array.sub lists 0 m) prefix_shifts (fun key ->
-              Boolmat.set mat_v (Hashtbl.find prefix_index key) j);
+              Boolmat.set mat_v
+                (Hashtbl.find prefix_index key
+                [@jp.lint.allow "hashtbl-dedup"
+                  "interning lookup: combo keys are sparse points of a \
+                   shifted product domain, far too large to stamp"])
+                j);
           iter_combos (Array.sub lists m (k - m)) suffix_shifts (fun key ->
-              Boolmat.set mat_w j (Hashtbl.find suffix_index key)))
+              Boolmat.set mat_w j
+                (Hashtbl.find suffix_index key
+                [@jp.lint.allow "hashtbl-dedup"
+                  "same sparse combo-key interning as the prefix side"])))
         qualifying_ys;
       (* Stream the product V·W row by row: materializing the full u x w
          bit-matrix would need u·w bits (it OOMs on large heavy residues);

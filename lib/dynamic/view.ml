@@ -131,7 +131,12 @@ let to_counted_pairs t =
   let rows =
     Array.map
       (fun entries ->
-        let sorted = List.sort compare entries in
+        let sorted =
+          List.sort
+            (fun (z1, k1) (z2, k2) ->
+              match Int.compare z1 z2 with 0 -> Int.compare k1 k2 | n -> n)
+            entries
+        in
         ( Array.of_list (List.map fst sorted),
           Array.of_list (List.map snd sorted) ))
       per_x

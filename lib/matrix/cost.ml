@@ -69,7 +69,7 @@ let measure_ti n =
           (Array.unsafe_get adj_s b))
       (Array.unsafe_get adj_r a);
     let group = Array.sub buf 0 !len in
-    Array.sort compare group;
+    Jp_util.Intsort.sort group;
     Sys.opaque_identity group |> ignore
   done;
   let dt = Unix.gettimeofday () -. t0 in
@@ -118,17 +118,17 @@ let calibrate ?(quick = true) () =
     cores = Jp_parallel.Pool.available_cores ();
   }
 
-let singleton = ref None
+let singleton : machine option Atomic.t = Atomic.make None
 
 let machine () =
-  match !singleton with
+  match Atomic.get singleton with
   | Some m -> m
   | None ->
     let m = calibrate () in
-    singleton := Some m;
+    Atomic.set singleton (Some m);
     m
 
-let set_machine m = singleton := Some m
+let set_machine m = Atomic.set singleton (Some m)
 
 let construction_seconds m ~u ~v ~w =
   let cells = float_of_int (max (u * v) (v * w)) in

@@ -6,17 +6,19 @@ module Tablefmt = Jp_util.Tablefmt
 (* ------------------------------------------------------------------ *)
 (* global switch                                                       *)
 
-let on = ref false
+(* Atomic rather than a bare ref: worker domains read the switch on
+   their hot paths while the coordinator may toggle it. *)
+let on = Atomic.make false
 
-let recording () = !on
+let recording () = Atomic.get on
 
 let enable () =
-  on := true;
-  Hook.enabled := true
+  Atomic.set on true;
+  Atomic.set Hook.enabled true
 
 let disable () =
-  on := false;
-  Hook.enabled := false
+  Atomic.set on false;
+  Atomic.set Hook.enabled false
 
 (* ------------------------------------------------------------------ *)
 (* counters                                                            *)
@@ -25,7 +27,8 @@ type counter = { cname : string; cell : int Atomic.t }
 
 let registry_lock = Mutex.create ()
 
-let registry : counter list ref = ref []
+let registry : counter list ref =
+  ref [] [@@jp.domain_safe "every access is guarded by registry_lock"]
 
 let counter name =
   Mutex.lock registry_lock;
@@ -40,7 +43,7 @@ let counter name =
   Mutex.unlock registry_lock;
   c
 
-let add c n = if !on then ignore (Atomic.fetch_and_add c.cell n)
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.cell n)
 
 let incr c = add c 1
 
@@ -117,7 +120,9 @@ let counter_values () =
   Mutex.lock registry_lock;
   let own = List.map (fun c -> (c.cname, Atomic.get c.cell)) !registry in
   Mutex.unlock registry_lock;
-  List.sort compare (("sort.radix_bytes", Atomic.get Hook.radix_bytes) :: own)
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (("sort.radix_bytes", Atomic.get Hook.radix_bytes) :: own)
 
 let render_counters () =
   let rows =
@@ -142,16 +147,18 @@ type event = {
 
 let events_lock = Mutex.create ()
 
-let events : event list ref = ref []
+let events : event list ref =
+  ref [] [@@jp.domain_safe "every access is guarded by events_lock"]
 
-let event_seq = ref 0
+let event_seq =
+  ref 0 [@@jp.domain_safe "every access is guarded by events_lock"]
 
 (* Each domain keeps its own stack of open span names, so worker-domain
    spans nest under their own roots instead of racing on a global. *)
 let stack_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
 let timed_span name f =
-  if not !on then (f (), 0.0)
+  if not (Atomic.get on) then (f (), 0.0)
   else begin
     let stack = Domain.DLS.get stack_key in
     let path = name :: !stack in
@@ -182,7 +189,13 @@ let span_events () =
   Mutex.lock events_lock;
   let evs = !events in
   Mutex.unlock events_lock;
-  List.sort (fun a b -> compare (a.t0, a.t1, a.seq) (b.t0, b.t1, b.seq)) evs
+  List.sort
+    (fun a b ->
+      match Float.compare a.t0 b.t0 with
+      | 0 -> (
+        match Float.compare a.t1 b.t1 with 0 -> Int.compare a.seq b.seq | n -> n)
+      | n -> n)
+    evs
 
 (* Aggregated view: events sharing a call path collapse into one node
    (summed time, call count); children keep first-call order. *)
@@ -302,11 +315,12 @@ type plan_actual = {
 
 let plans_lock = Mutex.create ()
 
-let plans : plan_actual list ref = ref []
+let plans : plan_actual list ref =
+  ref [] [@@jp.domain_safe "every access is guarded by plans_lock"]
 
 let record_plan ?(replanned = false) ?(degraded = false) ~label ~decision
     ~est_out ~join_size ~est_seconds ~actual_out ~actual_seconds ~phases () =
-  if !on then begin
+  if Atomic.get on then begin
     let p =
       {
         label;

@@ -107,4 +107,4 @@ let project t ~keep =
   out
 
 let to_sorted_list t =
-  List.sort compare (List.map Array.to_list (rows t))
+  List.sort (List.compare Int.compare) (List.map Array.to_list (rows t))

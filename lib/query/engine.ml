@@ -31,10 +31,10 @@ let star_shape q =
       else begin
         let parts = List.filter_map (fun c -> c) classified in
         let xs = List.map (fun (_, _, x) -> x) parts in
-        let distinct = List.sort_uniq compare xs in
+        let distinct = List.sort_uniq String.compare xs in
         if
           List.length distinct = List.length xs
-          && List.sort compare q.Cq.head = distinct
+          && List.sort String.compare q.Cq.head = distinct
           && List.length q.Cq.head = List.length xs
         then Some (y, parts)
         else None

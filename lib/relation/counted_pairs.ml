@@ -79,7 +79,8 @@ let sorted_desc t =
     t;
   Array.sort
     (fun (x1, z1, c1) (x2, z2, c2) ->
-      if c1 <> c2 then compare c2 c1 else compare (x1, z1) (x2, z2))
+      if c1 <> c2 then Int.compare c2 c1
+      else match Int.compare x1 x2 with 0 -> Int.compare z1 z2 | n -> n)
     out;
   out
 

@@ -22,7 +22,7 @@ let of_degrees ?weights deg =
         incr p
       end)
     deg;
-  Array.sort (fun a b -> compare deg.(a) deg.(b)) ids;
+  Array.sort (fun a b -> Int.compare deg.(a) deg.(b)) ids;
   let n = Array.length ids in
   let degs = Array.map (fun v -> deg.(v)) ids in
   let prefix_deg = Array.make (n + 1) 0 in

@@ -62,7 +62,7 @@ let iter f t =
 let to_list t =
   let acc = ref [] in
   iter (fun tuple -> acc := Array.to_list tuple :: !acc) t;
-  List.sort compare !acc
+  List.sort (List.compare Int.compare) !acc
 
 let equal a b = arity a = arity b && count a = count b && to_list a = to_list b
 

@@ -19,11 +19,18 @@ let build_tree r ~rank =
       Array.iter
         (fun e ->
           node :=
-            match Hashtbl.find_opt !node.children e with
+            match
+              Hashtbl.find_opt !node.children e
+              [@jp.lint.allow "hashtbl-dedup"
+                "per-node trie children: tiny tables keyed by sparse \
+                 element ids, a stamp vector would cost O(n) per node"]
+            with
             | Some child -> child
             | None ->
               let child = new_node e in
-              Hashtbl.add !node.children e child;
+              (Hashtbl.add !node.children e child
+              [@jp.lint.allow "hashtbl-dedup"
+                "same per-node trie children tables"]);
               child)
         elems;
       !node.terminals <- a :: !node.terminals

@@ -7,7 +7,7 @@ let element_order_infrequent r =
   Array.sort
     (fun e1 e2 ->
       let l1 = Relation.deg_dst r e1 and l2 = Relation.deg_dst r e2 in
-      if l1 <> l2 then compare l1 l2 else compare e1 e2)
+      if l1 <> l2 then Int.compare l1 l2 else Int.compare e1 e2)
     order;
   let rank = Array.make ne 0 in
   Array.iteri (fun i e -> rank.(e) <- i) order;
@@ -15,7 +15,7 @@ let element_order_infrequent r =
 
 let sorted_by_rank r ~rank a =
   let elems = Array.copy (Relation.adj_src r a) in
-  Array.sort (fun x y -> compare rank.(x) rank.(y)) elems;
+  Array.sort (fun x y -> Int.compare rank.(x) rank.(y)) elems;
   elems
 
 let rows_to_pairs rows =

@@ -38,7 +38,7 @@ let similar_pairs ?members ~c r =
   Array.sort
     (fun e1 e2 ->
       let l1 = Array.length inv.(e1) and l2 = Array.length inv.(e2) in
-      if l1 <> l2 then compare l2 l1 else compare e1 e2)
+      if l1 <> l2 then Int.compare l2 l1 else Int.compare e1 e2)
     order;
   let rank = Array.make ne 0 in
   Array.iteri (fun i e -> rank.(e) <- i) order;
@@ -49,16 +49,23 @@ let similar_pairs ?members ~c r =
     (fun a ->
       let elems = Array.copy (Relation.adj_src r a) in
       if Array.length elems >= c then begin
-        Array.sort (fun x y -> compare rank.(x) rank.(y)) elems;
+        Array.sort (fun x y -> Int.compare rank.(x) rank.(y)) elems;
         let node = ref root in
         Array.iter
           (fun e ->
             node :=
-              match Hashtbl.find_opt !node.children e with
+              match
+                Hashtbl.find_opt !node.children e
+                [@jp.lint.allow "hashtbl-dedup"
+                  "per-node trie children: tiny tables keyed by sparse \
+                   element ids, a stamp vector would cost O(n) per node"]
+              with
               | Some child -> child
               | None ->
                 let child = new_node e in
-                Hashtbl.add !node.children e child;
+                (Hashtbl.add !node.children e child
+                [@jp.lint.allow "hashtbl-dedup"
+                  "same per-node trie children tables"]);
                 child)
           elems;
         !node.terminals <- a :: !node.terminals

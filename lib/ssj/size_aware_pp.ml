@@ -53,11 +53,18 @@ let light_via_mm ~domains ~boundary ~c r =
     if is_light s then
       Common.iter_c_subsets (Relation.adj_src r s) ~c (fun key ->
           let b =
-            match Hashtbl.find_opt bucket_ids key with
+            match
+              Hashtbl.find_opt bucket_ids key
+              [@jp.lint.allow "hashtbl-dedup"
+                "bucket interning is keyed by int-list c-subsets; \
+                 structured keys with no dense int domain to stamp"]
+            with
             | Some b -> b
             | None ->
               let b = Hashtbl.length bucket_ids in
-              Hashtbl.add bucket_ids key b;
+              (Hashtbl.add bucket_ids key b
+              [@jp.lint.allow "hashtbl-dedup"
+                "same int-list c-subset keys"]);
               b
           in
           Vec.push2 edges s b)

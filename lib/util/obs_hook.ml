@@ -1,8 +1,9 @@
-let enabled = ref false
+let enabled = Atomic.make false
 
 let radix_bytes = Atomic.make 0
 
 let note_radix ~elems ~passes =
-  if !enabled then ignore (Atomic.fetch_and_add radix_bytes (8 * elems * passes))
+  if Atomic.get enabled then
+    ignore (Atomic.fetch_and_add radix_bytes (8 * elems * passes))
 
 let reset () = Atomic.set radix_bytes 0

@@ -6,9 +6,10 @@
     namespace.  Do not use this module directly from engine code; go
     through [Jp_obs] instead. *)
 
-val enabled : bool ref
+val enabled : bool Atomic.t
 (** Mirror of [Jp_obs.recording]; toggled by [Jp_obs.enable]/[disable].
-    All hooks are no-ops while it is [false]. *)
+    All hooks are no-ops while it is [false].  Atomic: worker domains
+    read it while the coordinating domain may toggle recording. *)
 
 val radix_bytes : int Atomic.t
 (** Bytes moved by {!Intsort}'s radix passes (8 bytes per element per

@@ -152,7 +152,9 @@ let intersect_many = function
   | [] -> invalid_arg "Sorted.intersect_many: empty list"
   | [ a ] -> Array.copy a
   | lists ->
-    let sorted = List.sort (fun a b -> compare (Array.length a) (Array.length b)) lists in
+    let sorted =
+      List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists
+    in
     (match sorted with
     | smallest :: rest ->
       List.fold_left (fun acc a -> if Array.length acc = 0 then acc else intersect acc a) smallest rest
@@ -165,7 +167,9 @@ let merge_union_many lists =
     | [] -> [||]
     | [ a ] -> a
     | lists ->
-      let sorted = List.sort (fun a b -> compare (Array.length a) (Array.length b)) lists in
+      let sorted =
+        List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) lists
+      in
       (match sorted with
       | a :: b :: rest -> go (union a b :: rest)
       | _ -> assert false)

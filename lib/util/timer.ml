@@ -15,6 +15,11 @@ let time_median ?(repeats = 3) f =
   in
   (* Sort by (elapsed, run index): equal times resolve to the earlier run,
      and the returned value comes from the same run as the returned time. *)
-  let sorted = List.sort (fun (a, i, _) (b, j, _) -> compare (a, i) (b, j)) runs in
+  let sorted =
+    List.sort
+      (fun (a, i, _) (b, j, _) ->
+        match Float.compare a b with 0 -> Int.compare i j | n -> n)
+      runs
+  in
   let dt, _, x = List.nth sorted (repeats / 2) in
   (x, dt)

@@ -1,0 +1,6 @@
+(* positive fixture: adj-mutation — writing through a shared adjacency *)
+module Relation = Jp_relation.Relation
+
+let clobber r =
+  let adj = Relation.adj_src r 0 in
+  adj.(0) <- 42

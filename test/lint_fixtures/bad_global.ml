@@ -1,0 +1,4 @@
+(* positive fixture: domain-unsafe-global — bare mutable at top level *)
+let table : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let slots = Array.make 8 0

@@ -1,0 +1,12 @@
+(* positive fixture: hashtbl-dedup — Hashtbl dedup inside an engine loop *)
+let dedup (xs : int array) =
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun x ->
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        out := x :: !out
+      end)
+    xs;
+  List.rev !out

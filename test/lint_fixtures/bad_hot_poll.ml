@@ -1,0 +1,9 @@
+(* positive fixture: hot-poll — cancellation polled per tuple (depth 2) *)
+let scan cancel (rows : int array array) =
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun x ->
+          if Jp_util.Cancel.is_cancelled cancel then ignore x)
+        row)
+    rows

@@ -1,0 +1,2 @@
+(* positive fixture: missing-mli — no interface next to this module *)
+let answer = 42

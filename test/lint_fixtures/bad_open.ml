@@ -1,0 +1,8 @@
+(* positive fixture: no-open — structure-level and local opens *)
+open List
+
+let total xs = fold_left ( + ) 0 xs
+
+let heads xs =
+  let open Option in
+  filter_map (fun l -> match l with [] -> none | x :: _ -> some x) xs

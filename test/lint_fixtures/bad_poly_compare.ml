@@ -1,0 +1,2 @@
+(* positive fixture: poly-compare — polymorphic Stdlib.compare in lib code *)
+let sort_pairs (a : (int * int) array) = Array.sort compare a

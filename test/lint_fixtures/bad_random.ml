@@ -1,0 +1,2 @@
+(* positive fixture: random — Stdlib.Random outside Jp_util.Rng *)
+let roll () = Random.int 6

@@ -1,0 +1,3 @@
+(* meta fixture: a justification-free allow is itself a finding, and the
+   underlying violation still blocks *)
+let roll () = (Random.int 6 [@jp.lint.allow "random"])

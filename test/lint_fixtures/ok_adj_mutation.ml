@@ -1,0 +1,7 @@
+(* negative fixture: adj-mutation — copy first, then mutate freely *)
+module Relation = Jp_relation.Relation
+
+let copy_then_patch r =
+  let adj = Array.copy (Relation.adj_src r 0) in
+  adj.(0) <- 42;
+  adj

@@ -1,0 +1,8 @@
+(* negative fixture: domain-unsafe-global — Atomic state and an annotated
+   table are both accepted *)
+let counter = Atomic.make 0
+
+let lock = Mutex.create ()
+
+let cache : (int, int) Hashtbl.t =
+  Hashtbl.create 16 [@@jp.domain_safe "fixture: every access holds lock"]

@@ -1,0 +1,2 @@
+(* negative fixture: hashtbl-dedup — Hashtbl use outside any loop *)
+let remember (tbl : (int, unit) Hashtbl.t) k = Hashtbl.replace tbl k ()

@@ -1,0 +1,8 @@
+(* negative fixture: hot-poll — polling once per chunk (depth 1) is the
+   sanctioned granularity *)
+let scan cancel (rows : int array array) =
+  Array.iter
+    (fun row ->
+      if not (Jp_util.Cancel.is_cancelled cancel) then
+        ignore (Array.length row))
+    rows

@@ -1,0 +1,4 @@
+(* negative fixture: no-open — file-top module aliases are the idiom *)
+module L = List
+
+let total xs = L.fold_left ( + ) 0 xs

@@ -1,0 +1,2 @@
+(* negative fixture: poly-compare — monomorphic comparator is fine *)
+let sort_ints (a : int array) = Array.sort Int.compare a

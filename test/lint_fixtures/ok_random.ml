@@ -1,0 +1,2 @@
+(* negative fixture: random — seeded Jp_util.Rng is the sanctioned source *)
+let roll rng = Jp_util.Rng.int rng 6

@@ -1,0 +1,2 @@
+(* negative fixture: missing-mli — this module has an interface *)
+let answer = 42

@@ -1,0 +1,3 @@
+(** Negative fixture for the missing-mli rule. *)
+
+val answer : int

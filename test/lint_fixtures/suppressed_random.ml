@@ -1,0 +1,4 @@
+(* suppression fixture: the random finding carries a justification and
+   must not block *)
+let roll () =
+  (Random.int 6 [@jp.lint.allow "random" "fixture: demonstrates suppression"])

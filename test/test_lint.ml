@@ -1,0 +1,110 @@
+(* jp_lint rule tests: each rule is exercised against a compiled fixture
+   (test/lint_fixtures), one positive and one negative case per rule,
+   plus the suppression and malformed-suppression paths.  The fixtures
+   are linted with an explicit kind override because the repo-wide run
+   deliberately skips the fixture directory. *)
+
+module Driver = Jp_lint_core.Lint_driver
+module Ctx = Jp_lint_core.Lint_ctx
+module Registry = Jp_lint_core.Lint_registry
+module Finding = Jp_lint_core.Lint_finding
+
+let fixture_cmt name =
+  Filename.concat "lint_fixtures/.jp_lint_fixtures.objs/byte"
+    ("jp_lint_fixtures__" ^ String.capitalize_ascii name ^ ".cmt")
+
+(* Lint one fixture as if it lived in an engine library (lib/core), so
+   every rule — including the engine-only ones — is in scope. *)
+let lint ?(kind = Ctx.Lib "core") name =
+  let path = fixture_cmt name in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "fixture cmt missing: %s (cwd %s)" path (Sys.getcwd ());
+  Driver.lint_cmt ~kind ~rules:Registry.all path
+
+let count rule fs = List.length (List.filter (fun f -> f.Finding.rule = rule) fs)
+
+let unsuppressed rule fs =
+  List.exists
+    (fun f -> f.Finding.rule = rule && f.Finding.suppressed = None)
+    fs
+
+let check_fires rule name () =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires on %s" rule name)
+    true
+    (unsuppressed rule (lint name))
+
+let check_clean rule name () =
+  Alcotest.(check int)
+    (Printf.sprintf "%s clean on %s" rule name)
+    0
+    (count rule (lint name))
+
+let test_suppression () =
+  let fs = lint "suppressed_random" in
+  let sup =
+    List.filter
+      (fun f -> f.Finding.rule = "random" && f.Finding.suppressed <> None)
+      fs
+  in
+  Alcotest.(check int) "one suppressed random finding" 1 (List.length sup);
+  Alcotest.(check bool) "suppressed findings never block" false
+    (List.exists
+       (fun f -> f.Finding.rule = "random" && Finding.is_blocking f)
+       fs)
+
+let test_bad_suppression () =
+  let fs = lint "bad_suppression" in
+  Alcotest.(check bool) "justification-free allow is flagged" true
+    (unsuppressed Ctx.bad_suppression_rule fs);
+  Alcotest.(check bool) "the underlying finding still blocks" true
+    (unsuppressed "random" fs)
+
+(* hashtbl-dedup is engine-only: the same fixture linted as test code
+   must be silent. *)
+let test_kind_scoping () =
+  Alcotest.(check int) "engine-only rule silent outside engines" 0
+    (count "hashtbl-dedup" (lint ~kind:Ctx.Test "bad_hashtbl_dedup"))
+
+(* Both positives in bad_hot_poll/bad_open really are two sites. *)
+let test_counts () =
+  Alcotest.(check int) "both opens flagged" 2 (count "no-open" (lint "bad_open"));
+  Alcotest.(check int) "both dedup calls flagged" 2
+    (count "hashtbl-dedup" (lint "bad_hashtbl_dedup"))
+
+let fires rule name =
+  Alcotest.test_case
+    (Printf.sprintf "%s fires" rule)
+    `Quick (check_fires rule name)
+
+let clean rule name =
+  Alcotest.test_case
+    (Printf.sprintf "%s negative" rule)
+    `Quick (check_clean rule name)
+
+let suite =
+  [
+    fires "poly-compare" "bad_poly_compare";
+    clean "poly-compare" "ok_poly_compare";
+    fires "random" "bad_random";
+    clean "random" "ok_random";
+    fires "domain-unsafe-global" "bad_global";
+    clean "domain-unsafe-global" "ok_global";
+    fires "hot-poll" "bad_hot_poll";
+    clean "hot-poll" "ok_hot_poll";
+    fires "adj-mutation" "bad_adj_mutation";
+    clean "adj-mutation" "ok_adj_mutation";
+    fires "missing-mli" "bad_no_mli";
+    clean "missing-mli" "ok_with_mli";
+    fires "no-open" "bad_open";
+    clean "no-open" "ok_open";
+    fires "hashtbl-dedup" "bad_hashtbl_dedup";
+    clean "hashtbl-dedup" "ok_hashtbl_dedup";
+    Alcotest.test_case "suppression recorded, not blocking" `Quick
+      test_suppression;
+    Alcotest.test_case "malformed suppression flagged" `Quick
+      test_bad_suppression;
+    Alcotest.test_case "engine-only rules scoped by kind" `Quick
+      test_kind_scoping;
+    Alcotest.test_case "multiple sites all reported" `Quick test_counts;
+  ]

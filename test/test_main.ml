@@ -23,5 +23,6 @@ let () =
       ("adaptive", Test_adaptive.suite);
       ("service", Test_service.suite);
       ("cache", Test_cache.suite);
+      ("lint", Test_lint.suite);
       ("properties", Test_properties.suite);
     ]

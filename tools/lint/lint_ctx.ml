@@ -1,0 +1,176 @@
+type kind =
+  | Lib of string
+  | Bin
+  | Bench
+  | Test
+  | Tools
+  | Other
+
+let allow_attr = "jp.lint.allow"
+
+let domain_safe_attr = "jp.domain_safe"
+
+let bad_suppression_rule = "bad-suppression"
+
+type t = {
+  source : string;
+  kind : kind;
+  has_mli : bool;
+  mutable aliases : (string * string) list;
+  mutable allow_stack : (string * string) list list;
+  mutable loop_depth : int;
+  mutable findings : Lint_finding.t list;
+}
+
+let create ~source ~kind ~has_mli =
+  { source; kind; has_mli; aliases = []; allow_stack = []; loop_depth = 0; findings = [] }
+
+let classify source =
+  let parts = String.split_on_char '/' source in
+  match parts with
+  | "lib" :: sub :: _ -> Lib sub
+  | "bin" :: _ -> Bin
+  | "bench" :: _ -> Bench
+  | "test" :: _ -> Test
+  | "tools" :: _ -> Tools
+  | _ -> Other
+
+(* ------------------------------------------------------------------ *)
+(* path normalization                                                  *)
+
+(* Dune mangles wrapped-library module names ("Jp_util__Cancel",
+   "Jp_obs__.Json"); rewrite the mangling back to dot form so rules can
+   match one canonical spelling. *)
+let demangle name =
+  let b = Buffer.create (String.length name) in
+  let n = String.length name in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 1 < n
+      && name.[!i] = '_'
+      && name.[!i + 1] = '_'
+      && Buffer.length b > 0
+      && name.[!i - 1] <> '.'
+      && name.[!i - 1] <> '_'
+    then begin
+      Buffer.add_char b '.';
+      i := !i + 2;
+      (* "Jp_obs__.Json": swallow the dot that follows the mangling. *)
+      if !i < n && name.[!i] = '.' then incr i
+    end
+    else begin
+      Buffer.add_char b name.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let normalize t name =
+  let name = demangle name in
+  match String.index_opt name '.' with
+  | None -> ( match List.assoc_opt name t.aliases with Some full -> full | None -> name)
+  | Some i -> (
+    let head = String.sub name 0 i in
+    let rest = String.sub name i (String.length name - i) in
+    match List.assoc_opt head t.aliases with
+    | Some full -> full ^ rest
+    | None -> name)
+
+let add_alias t ~name ~target = t.aliases <- (name, normalize t target) :: t.aliases
+
+let ident_of_expr t (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (path, _, _) -> Some (normalize t (Path.name path))
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* findings and suppression                                            *)
+
+let active_allow t rule =
+  List.find_map
+    (fun allows ->
+      List.find_map (fun (r, why) -> if r = rule then Some why else None) allows)
+    t.allow_stack
+
+let emit t ~rule ~loc ~message ~hint =
+  let pos = loc.Location.loc_start in
+  let f =
+    Lint_finding.v ~rule ~file:t.source ~line:pos.Lexing.pos_lnum
+      ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+      ~message ~hint ~suppressed:(active_allow t rule)
+  in
+  t.findings <- f :: t.findings
+
+(* ------------------------------------------------------------------ *)
+(* attribute payloads                                                  *)
+
+(* [[@attr "a" "b"]] parses as an application of one string constant to
+   another; [[@attr "a", "b"]] as a tuple; [[@attr "a"]] as a lone
+   constant.  Accept all three. *)
+let strings_of_payload (payload : Parsetree.payload) =
+  let const (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+    | _ -> None
+  in
+  match payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_constant (Pconst_string (s, _, _)) -> Some [ s ]
+    | Pexp_apply (f, args) -> (
+      let args = List.map (fun (_, a) -> const a) args in
+      match (const f, List.for_all Option.is_some args) with
+      | Some s, true -> Some (s :: List.map Option.get args)
+      | _ -> None)
+    | Pexp_tuple es ->
+      let cs = List.map const es in
+      if List.for_all Option.is_some cs then Some (List.map Option.get cs) else None
+    | _ -> None)
+  | _ -> None
+
+let allows_of_attributes t (attrs : Parsetree.attributes) =
+  List.filter_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> allow_attr then None
+      else
+        match strings_of_payload a.attr_payload with
+        | Some [ rule; why ] when String.trim why <> "" -> Some (rule, why)
+        | _ ->
+          emit t ~rule:bad_suppression_rule ~loc:a.attr_loc
+            ~message:
+              (Printf.sprintf
+                 "[@%s] needs a rule id and a non-empty justification string"
+                 allow_attr)
+            ~hint:"write [@jp.lint.allow \"rule-id\" \"why this is safe\"]";
+          None)
+    attrs
+
+let domain_safe_of_attributes t (attrs : Parsetree.attributes) =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> domain_safe_attr then None
+      else
+        match strings_of_payload a.attr_payload with
+        | Some [ why ] when String.trim why <> "" -> Some why
+        | _ ->
+          emit t ~rule:bad_suppression_rule ~loc:a.attr_loc
+            ~message:
+              (Printf.sprintf "[@%s] needs a non-empty justification string"
+                 domain_safe_attr)
+            ~hint:"write [@@jp.domain_safe \"why this global is domain-safe\"]";
+          Some "(missing justification)")
+    attrs
+
+let with_allows t allows f =
+  match allows with
+  | [] -> f ()
+  | _ -> (
+    t.allow_stack <- allows :: t.allow_stack;
+    match f () with
+    | x ->
+      t.allow_stack <- List.tl t.allow_stack;
+      x
+    | exception e ->
+      t.allow_stack <- List.tl t.allow_stack;
+      raise e)

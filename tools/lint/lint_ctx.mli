@@ -1,0 +1,71 @@
+(** Per-file lint context: source classification, module-alias
+    resolution, the active-suppression stack and the findings sink.
+
+    One context is created per [.cmt] file; rules receive it in every
+    hook and report through {!emit}, which consults the suppression
+    stack maintained by the walker ({!Lint_walk}). *)
+
+type kind =
+  | Lib of string  (** [lib/<sub>/...]; the argument is the subdirectory *)
+  | Bin
+  | Bench
+  | Test
+  | Tools
+  | Other
+
+val allow_attr : string
+(** ["jp.lint.allow"] — expression/item-level suppression attribute. *)
+
+val domain_safe_attr : string
+(** ["jp.domain_safe"] — marks a top-level mutable as intentionally
+    shared (rule [domain-unsafe-global]). *)
+
+val bad_suppression_rule : string
+(** Meta-rule id emitted for malformed or justification-free
+    suppression attributes. *)
+
+type t = {
+  source : string;  (** workspace-relative source path *)
+  kind : kind;
+  has_mli : bool;  (** a [.cmti] sits next to the [.cmt] *)
+  mutable aliases : (string * string) list;
+      (** file-top module aliases, name → normalized target path *)
+  mutable allow_stack : (string * string) list list;
+      (** active [[@jp.lint.allow]] scopes, innermost first *)
+  mutable loop_depth : int;  (** syntactic loop nesting at the cursor *)
+  mutable findings : Lint_finding.t list;  (** reverse emission order *)
+}
+
+val create : source:string -> kind:kind -> has_mli:bool -> t
+
+val classify : string -> kind
+(** Classify a workspace-relative source path by its top directory. *)
+
+val normalize : t -> string -> string
+(** Canonicalize a resolved [Path.name]: undo dune's wrapped-module
+    mangling ([Jp_util__Cancel] → [Jp_util.Cancel]) and expand file-top
+    module aliases ([Cancel.check] → [Jp_util.Cancel.check]).  Rules
+    match against these canonical dotted names only. *)
+
+val add_alias : t -> name:string -> target:string -> unit
+(** Record [module name = target]; [target] is normalized on the way in
+    so alias chains resolve fully. *)
+
+val ident_of_expr : t -> Typedtree.expression -> string option
+(** Normalized path of an identifier expression, [None] otherwise. *)
+
+val emit :
+  t -> rule:string -> loc:Location.t -> message:string -> hint:string -> unit
+(** Record a finding; it is born suppressed when an enclosing
+    [[@jp.lint.allow]] for the same rule is on the stack. *)
+
+val allows_of_attributes : t -> Parsetree.attributes -> (string * string) list
+(** [(rule, justification)] pairs from [[@jp.lint.allow]] attributes;
+    malformed ones emit a {!bad_suppression_rule} finding instead. *)
+
+val domain_safe_of_attributes : t -> Parsetree.attributes -> string option
+(** Justification from a [[@jp.domain_safe]] attribute, if present; a
+    missing/empty justification emits {!bad_suppression_rule}. *)
+
+val with_allows : t -> (string * string) list -> (unit -> 'a) -> 'a
+(** Run [f] with the given suppressions pushed onto the stack. *)

@@ -1,0 +1,52 @@
+(* Deliberate rule violations compiled as test fixtures; the repo-wide
+   run must not trip over them (the fixture tests lint them explicitly
+   with a kind override). *)
+let default_excludes = [ "test/lint_fixtures/" ]
+
+let skip_source ~excludes source =
+  String.length source < 1
+  || Filename.check_suffix source ".ml-gen"
+  || Filename.check_suffix source ".mli"
+  || List.exists (fun ex -> Lint_util.contains_substring source ex) excludes
+
+let lint_structure ~source ~kind ~has_mli ~rules str =
+  let ctx = Lint_ctx.create ~source ~kind ~has_mli in
+  Lint_walk.collect_aliases ctx str;
+  let rules = List.filter (fun (r : Lint_rule.t) -> r.applies kind) rules in
+  Lint_walk.walk ctx rules str;
+  List.rev ctx.findings
+
+let lint_cmt ?kind ?(excludes = default_excludes) ~rules path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> []
+  | info -> (
+    match info.cmt_annots with
+    | Implementation str ->
+      let source = match info.cmt_sourcefile with Some s -> s | None -> path in
+      (* An explicit kind override (fixture tests) bypasses the skip list. *)
+      let skip =
+        match kind with Some _ -> false | None -> skip_source ~excludes source
+      in
+      if skip then []
+      else
+        let kind = match kind with Some k -> k | None -> Lint_ctx.classify source in
+        let has_mli = Sys.file_exists (Filename.remove_extension path ^ ".cmti") in
+        lint_structure ~source ~kind ~has_mli ~rules str
+    | _ -> [])
+
+let rec find_cmts acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then find_cmts acc path
+        else if Filename.check_suffix path ".cmt" then path :: acc
+        else acc)
+      acc entries
+
+let lint_dirs ?(excludes = default_excludes) ~rules dirs =
+  let cmts = List.sort String.compare (List.fold_left find_cmts [] dirs) in
+  let findings = List.concat_map (fun cmt -> lint_cmt ~excludes ~rules cmt) cmts in
+  List.sort Lint_finding.compare_by_position findings

@@ -1,0 +1,39 @@
+(** The driver: locate [.cmt] files under the build tree, load each one
+    with [Cmt_format], and run the selected rules over its Typedtree.
+
+    Names in the tree are {e resolved} (the typechecker already did the
+    work), so matching is on canonical paths, not source text.  Dune's
+    generated wrapper modules ([.ml-gen]) and the deliberately-violating
+    [test/lint_fixtures/] sources are skipped unless a caller forces a
+    [kind] override. *)
+
+val default_excludes : string list
+(** Source-path substrings skipped by default ([test/lint_fixtures/]). *)
+
+val lint_structure :
+  source:string ->
+  kind:Lint_ctx.kind ->
+  has_mli:bool ->
+  rules:Lint_rule.t list ->
+  Typedtree.structure ->
+  Lint_finding.t list
+(** Lint one already-loaded structure (emission order). *)
+
+val lint_cmt :
+  ?kind:Lint_ctx.kind ->
+  ?excludes:string list ->
+  rules:Lint_rule.t list ->
+  string ->
+  Lint_finding.t list
+(** Lint one [.cmt] file.  [?kind] overrides source-path classification
+    (used by the fixture tests to lint [test/] sources as [Lib]); when
+    given, the exclude list is bypassed.  Unreadable or interface-only
+    cmts yield no findings. *)
+
+val lint_dirs :
+  ?excludes:string list ->
+  rules:Lint_rule.t list ->
+  string list ->
+  Lint_finding.t list
+(** Recursively lint every [.cmt] under the given directories; findings
+    are sorted by position for stable reports. *)

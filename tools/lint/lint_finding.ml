@@ -1,0 +1,22 @@
+type severity = Error | Warn
+
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+  hint : string;
+  suppressed : string option;
+  mutable severity : severity;
+}
+
+let v ~rule ~file ~line ~col ~message ~hint ~suppressed =
+  { rule; file; line; col; message; hint; suppressed; severity = Error }
+
+let is_blocking f = f.suppressed = None && f.severity = Error
+
+let compare_by_position a b =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | n -> n)
+  | n -> n

@@ -1,0 +1,39 @@
+(** A single lint finding: one rule violation at one source location.
+
+    Findings start as {!Error}; loading a baseline file (see
+    {!Lint_report.apply_baseline}) demotes matching findings to {!Warn}
+    so new rules can land warn-only.  A finding carrying a suppression
+    justification (from [[@jp.lint.allow "rule" "why"]] or
+    [[@jp.domain_safe "why"]]) is recorded but never blocks the build —
+    suppressions stay visible in reports instead of vanishing. *)
+
+type severity = Error | Warn
+
+type t = {
+  rule : string;  (** rule id, e.g. ["poly-compare"] *)
+  file : string;  (** workspace-relative source path *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+  hint : string;  (** how to fix, shown under the finding *)
+  suppressed : string option;  (** justification when suppressed *)
+  mutable severity : severity;
+}
+
+val v :
+  rule:string ->
+  file:string ->
+  line:int ->
+  col:int ->
+  message:string ->
+  hint:string ->
+  suppressed:string option ->
+  t
+(** Fresh finding at severity {!Error}. *)
+
+val is_blocking : t -> bool
+(** [true] iff the finding is an unsuppressed error — the ones that make
+    [jp_lint] exit non-zero. *)
+
+val compare_by_position : t -> t -> int
+(** Order by file, then line, then column (stable report output). *)

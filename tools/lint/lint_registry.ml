@@ -1,0 +1,23 @@
+let all =
+  [
+    Rule_poly_compare.rule;
+    Rule_random.rule;
+    Rule_domain_safety.rule;
+    Rule_hot_poll.rule;
+    Rule_adj_mutation.rule;
+    Rule_missing_mli.rule;
+    Rule_no_open.rule;
+    Rule_hashtbl_dedup.rule;
+  ]
+
+let find id = List.find_opt (fun (r : Lint_rule.t) -> r.id = id) all
+
+let validate_ids ids = List.filter (fun id -> find id = None) ids
+
+let select ?(only = []) ?(disable = []) () =
+  let picked =
+    match only with
+    | [] -> all
+    | _ -> List.filter (fun (r : Lint_rule.t) -> List.mem r.id only) all
+  in
+  List.filter (fun (r : Lint_rule.t) -> not (List.mem r.id disable)) picked

@@ -1,0 +1,14 @@
+(** The rule registry: every shipped rule, plus id-based selection for
+    [--rules]/[--disable] and the fixture tests. *)
+
+val all : Lint_rule.t list
+(** Every rule, in documentation order. *)
+
+val find : string -> Lint_rule.t option
+
+val validate_ids : string list -> string list
+(** The ids in the list that name no known rule. *)
+
+val select : ?only:string list -> ?disable:string list -> unit -> Lint_rule.t list
+(** [select ~only ~disable ()] — [only = []] means all rules; [disable]
+    is subtracted afterwards. *)

@@ -1,0 +1,111 @@
+module F = Lint_finding
+
+(* ------------------------------------------------------------------ *)
+(* baseline                                                            *)
+
+type baseline_entry = { b_rule : string; b_file : string }
+
+(* Format: one "rule-id file-path" pair per line; '*' as the file
+   matches every file; '#' starts a comment.  See DESIGN.md. *)
+let load_baseline path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.index_opt line ' ' with
+         | Some i ->
+           let rule = String.sub line 0 i in
+           let file = String.trim (String.sub line i (String.length line - i)) in
+           entries := { b_rule = rule; b_file = file } :: !entries
+         | None -> failwith (Printf.sprintf "baseline: malformed line %S" line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries
+
+let apply_baseline entries findings =
+  List.iter
+    (fun (f : F.t) ->
+      if
+        List.exists
+          (fun b -> b.b_rule = f.rule && (b.b_file = "*" || b.b_file = f.file))
+          entries
+      then f.severity <- F.Warn)
+    findings;
+  findings
+
+(* ------------------------------------------------------------------ *)
+(* text output                                                         *)
+
+let severity_tag (f : F.t) =
+  match (f.suppressed, f.severity) with
+  | Some _, _ -> "allowed"
+  | None, F.Warn -> "warning"
+  | None, F.Error -> "error"
+
+let render_finding (f : F.t) =
+  let head =
+    Printf.sprintf "%s:%d:%d [%s] %s: %s" f.file f.line f.col f.rule
+      (severity_tag f) f.message
+  in
+  match f.suppressed with
+  | Some why -> Printf.sprintf "%s\n    allowed: %s" head why
+  | None -> Printf.sprintf "%s\n    hint: %s" head f.hint
+
+type summary = {
+  errors : int;
+  warnings : int;
+  suppressed : int;
+  files : int;
+}
+
+let summarize findings =
+  let files = List.sort_uniq String.compare (List.map (fun (f : F.t) -> f.file) findings) in
+  {
+    errors = List.length (List.filter F.is_blocking findings);
+    warnings =
+      List.length
+        (List.filter (fun (f : F.t) -> f.suppressed = None && f.severity = F.Warn) findings);
+    suppressed = List.length (List.filter (fun (f : F.t) -> f.suppressed <> None) findings);
+    files = List.length files;
+  }
+
+let render_text ?(show_suppressed = false) findings =
+  let shown =
+    List.filter (fun (f : F.t) -> show_suppressed || f.suppressed = None) findings
+  in
+  let s = summarize findings in
+  let body = List.map render_finding shown in
+  let tail =
+    Printf.sprintf
+      "jp_lint: %d error%s, %d baseline warning%s, %d suppressed, %d file%s \
+       with findings"
+      s.errors
+      (if s.errors = 1 then "" else "s")
+      s.warnings
+      (if s.warnings = 1 then "" else "s")
+      s.suppressed s.files
+      (if s.files = 1 then "" else "s")
+  in
+  String.concat "\n" (body @ [ tail ])
+
+(* ------------------------------------------------------------------ *)
+(* json output                                                         *)
+
+let json_of_finding (f : F.t) =
+  let e = Lint_util.json_escape in
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\",\"suppressed\":%s}"
+    (e f.rule) (e f.file) f.line f.col
+    (match f.severity with F.Error -> "error" | F.Warn -> "warning")
+    (e f.message) (e f.hint)
+    (match f.suppressed with None -> "null" | Some why -> Printf.sprintf "\"%s\"" (e why))
+
+let render_json findings =
+  let s = summarize findings in
+  Printf.sprintf
+    "{\n\"version\":1,\n\"findings\":[\n%s\n],\n\"summary\":{\"errors\":%d,\"warnings\":%d,\"suppressed\":%d,\"files\":%d}\n}"
+    (String.concat ",\n" (List.map json_of_finding findings))
+    s.errors s.warnings s.suppressed s.files

@@ -1,0 +1,32 @@
+(** Reporting: text and JSON rendering plus the warn-only baseline.
+
+    The JSON schema (version 1) is an object with [version],
+    [findings] (array of [{rule, file, line, col, severity, message,
+    hint, suppressed}] — [suppressed] is [null] or the justification
+    string) and [summary] ([{errors, warnings, suppressed, files}]).
+
+    The baseline file is plain text: one ["rule-id file-path"] pair per
+    line ([*] as the path matches every file, [#] comments); matching
+    findings are demoted to warnings so a new rule can land without
+    immediately failing CI. *)
+
+type baseline_entry = { b_rule : string; b_file : string }
+
+val load_baseline : string -> baseline_entry list
+(** Raises [Sys_error]/[Failure] on unreadable or malformed files. *)
+
+val apply_baseline : baseline_entry list -> Lint_finding.t list -> Lint_finding.t list
+(** Demote matching findings to {!Lint_finding.Warn} (in place; the
+    list is returned for convenience). *)
+
+type summary = { errors : int; warnings : int; suppressed : int; files : int }
+
+val summarize : Lint_finding.t list -> summary
+
+val render_text : ?show_suppressed:bool -> Lint_finding.t list -> string
+(** Human-readable report (findings plus a one-line summary).
+    Suppressed findings are hidden unless [show_suppressed]. *)
+
+val render_json : Lint_finding.t list -> string
+(** Machine-readable report, schema above; includes suppressed
+    findings. *)

@@ -1,0 +1,26 @@
+type t = {
+  id : string;
+  doc : string;
+  applies : Lint_ctx.kind -> bool;
+  on_expr : Lint_ctx.t -> Typedtree.expression -> unit;
+  on_str_item : Lint_ctx.t -> Typedtree.structure_item -> unit;
+  on_file : Lint_ctx.t -> Typedtree.structure -> unit;
+}
+
+let nothing_expr _ _ = ()
+
+let nothing_item _ _ = ()
+
+let nothing_file _ _ = ()
+
+let v ?(applies = fun _ -> true) ?(on_expr = nothing_expr)
+    ?(on_str_item = nothing_item) ?(on_file = nothing_file) ~id ~doc () =
+  { id; doc; applies; on_expr; on_str_item; on_file }
+
+let lib_only = function Lint_ctx.Lib _ -> true | _ -> false
+
+let engine_subdirs = [ "core"; "ssj"; "scj"; "bsi"; "wcoj" ]
+
+let engine_only = function
+  | Lint_ctx.Lib sub -> List.mem sub engine_subdirs
+  | _ -> false

@@ -1,0 +1,29 @@
+(** The rule interface: a rule contributes hooks that the single-pass
+    walker ({!Lint_walk}) invokes at each node, plus a whole-file hook
+    for structural checks (top-level scans, missing-interface). *)
+
+type t = {
+  id : string;  (** stable rule id used in reports and suppressions *)
+  doc : string;  (** one-line description for [--list-rules] *)
+  applies : Lint_ctx.kind -> bool;  (** which source trees the rule covers *)
+  on_expr : Lint_ctx.t -> Typedtree.expression -> unit;
+  on_str_item : Lint_ctx.t -> Typedtree.structure_item -> unit;
+  on_file : Lint_ctx.t -> Typedtree.structure -> unit;
+}
+
+val v :
+  ?applies:(Lint_ctx.kind -> bool) ->
+  ?on_expr:(Lint_ctx.t -> Typedtree.expression -> unit) ->
+  ?on_str_item:(Lint_ctx.t -> Typedtree.structure_item -> unit) ->
+  ?on_file:(Lint_ctx.t -> Typedtree.structure -> unit) ->
+  id:string ->
+  doc:string ->
+  unit ->
+  t
+(** Rule with no-op defaults; [applies] defaults to every kind. *)
+
+val lib_only : Lint_ctx.kind -> bool
+(** [lib/] sources only. *)
+
+val engine_only : Lint_ctx.kind -> bool
+(** The join-engine libraries: [lib/{core,ssj,scj,bsi,wcoj}]. *)

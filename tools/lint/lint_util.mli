@@ -1,0 +1,7 @@
+(** Small string helpers shared by the lint modules. *)
+
+val contains_substring : string -> string -> bool
+(** [contains_substring haystack needle]. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding inside JSON double quotes. *)

@@ -1,0 +1,95 @@
+(* Non-looping modules whose higher-order functions run their argument
+   at most once — passing a closure to these is not a loop. *)
+let non_looping_modules =
+  [ "Option"; "Result"; "Either"; "Lazy"; "Fun"; "Format"; "Printf"; "Atomic" ]
+
+let is_loop_hof name =
+  let rec last2 = function
+    | [ m; fn ] -> (Some m, fn)
+    | [ fn ] -> (None, fn)
+    | _ :: tl -> last2 tl
+    | [] -> (None, "")
+  in
+  let md, fn = last2 (String.split_on_char '.' name) in
+  let excluded =
+    match md with Some m -> List.mem m non_looping_modules | None -> false
+  in
+  (not excluded)
+  && (String.starts_with ~prefix:"iter" fn
+     || String.starts_with ~prefix:"fold" fn
+     || List.mem fn
+          [
+            "map";
+            "mapi";
+            "concat_map";
+            "filter";
+            "filter_map";
+            "exists";
+            "for_all";
+            "find_map";
+            "partition";
+          ])
+
+let collect_aliases ctx (str : Typedtree.structure) =
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_module mb -> (
+        match (mb.mb_id, mb.mb_expr.mod_desc) with
+        | Some id, Tmod_ident (path, _) ->
+          Lint_ctx.add_alias ctx ~name:(Ident.name id) ~target:(Path.name path)
+        | _ -> ())
+      | _ -> ())
+    str.str_items
+
+let walk ctx (rules : Lint_rule.t list) (str : Typedtree.structure) =
+  let open Typedtree in
+  let expr (it : Tast_iterator.iterator) (e : expression) =
+    let allows = Lint_ctx.allows_of_attributes ctx e.exp_attributes in
+    Lint_ctx.with_allows ctx allows (fun () ->
+        List.iter (fun (r : Lint_rule.t) -> r.on_expr ctx e) rules;
+        let deeper f =
+          ctx.loop_depth <- ctx.loop_depth + 1;
+          f ();
+          ctx.loop_depth <- ctx.loop_depth - 1
+        in
+        match e.exp_desc with
+        | Texp_while (cond, body) ->
+          (* the condition re-runs every iteration, so it is in the loop *)
+          deeper (fun () ->
+              it.expr it cond;
+              it.expr it body)
+        | Texp_for (_, _, lo, hi, _, body) ->
+          it.expr it lo;
+          it.expr it hi;
+          deeper (fun () -> it.expr it body)
+        | Texp_apply (fn, args) ->
+          let hof =
+            match Lint_ctx.ident_of_expr ctx fn with
+            | Some name -> is_loop_hof name
+            | None -> false
+          in
+          it.expr it fn;
+          List.iter
+            (fun (_, arg) ->
+              match arg with
+              | None -> ()
+              | Some (a : expression) -> (
+                match a.exp_desc with
+                | Texp_function _ when hof -> deeper (fun () -> it.expr it a)
+                | _ -> it.expr it a))
+            args
+        | _ -> Tast_iterator.default_iterator.expr it e)
+  in
+  let value_binding (it : Tast_iterator.iterator) (vb : value_binding) =
+    let allows = Lint_ctx.allows_of_attributes ctx vb.vb_attributes in
+    Lint_ctx.with_allows ctx allows (fun () ->
+        Tast_iterator.default_iterator.value_binding it vb)
+  in
+  let structure_item (it : Tast_iterator.iterator) (item : structure_item) =
+    List.iter (fun (r : Lint_rule.t) -> r.on_str_item ctx item) rules;
+    Tast_iterator.default_iterator.structure_item it item
+  in
+  let it = { Tast_iterator.default_iterator with expr; value_binding; structure_item } in
+  List.iter (fun (r : Lint_rule.t) -> r.on_file ctx str) rules;
+  it.structure it str

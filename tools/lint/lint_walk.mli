@@ -1,0 +1,20 @@
+(** Single-pass Typedtree walker shared by every rule.
+
+    The walker maintains the two pieces of state rules read from the
+    context while visiting: the syntactic loop depth (for/while bodies,
+    while conditions, and closure arguments passed to looping
+    higher-order functions such as [Array.iter] or anything whose name
+    starts with [iter]/[fold]) and the [[@jp.lint.allow]] suppression
+    stack (expression and value-binding attributes). *)
+
+val is_loop_hof : string -> bool
+(** Does a call to this (normalized) function run a closure argument
+    once per element?  [Option.iter] and friends are excluded. *)
+
+val collect_aliases : Lint_ctx.t -> Typedtree.structure -> unit
+(** Record the file-top [module M = Path] aliases into the context
+    before walking, so {!Lint_ctx.normalize} can expand them. *)
+
+val walk : Lint_ctx.t -> Lint_rule.t list -> Typedtree.structure -> unit
+(** Run every rule's [on_file] hook, then traverse the structure once,
+    invoking [on_expr]/[on_str_item] hooks at each node. *)

@@ -1,0 +1,83 @@
+let id = "adj-mutation"
+
+(* Relation.adj_src/adj_dst return arrays shared with the index; mutating
+   one corrupts every later reader (and, cached, every later query). *)
+let is_adj_name name =
+  match String.rindex_opt name '.' with
+  | None -> false
+  | Some i ->
+    String.starts_with ~prefix:"adj_" (String.sub name (i + 1) (String.length name - i - 1))
+    && (String.starts_with ~prefix:"Relation." name
+       || Lint_util.contains_substring name ".Relation.")
+
+let is_adj_call ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (fn, _) -> (
+    match Lint_ctx.ident_of_expr ctx fn with
+    | Some name -> is_adj_name name
+    | None -> false)
+  | _ -> false
+
+(* (normalized mutator, index of the argument it mutates) *)
+let mutators =
+  [
+    ("Stdlib.Array.set", 0);
+    ("Stdlib.Array.unsafe_set", 0);
+    ("Stdlib.Array.fill", 0);
+    ("Stdlib.Array.blit", 2);
+    ("Stdlib.Array.sort", 1);
+    ("Stdlib.Array.fast_sort", 1);
+    ("Stdlib.Array.stable_sort", 1);
+    ("Jp_util.Intsort.sort", 0);
+    ("Jp_util.Intsort.sort_sub", 0);
+  ]
+
+(* Idents let-bound to an adj_* call in the file under scan, keyed by
+   Ident.unique_name so shadowing cannot confuse the match.  Reset per
+   file by [on_file]; the lint driver is single-threaded. *)
+let tainted : (string, unit) Hashtbl.t = Hashtbl.create 64
+
+let collect_taints ctx str =
+  Hashtbl.reset tainted;
+  let value_binding (it : Tast_iterator.iterator) (vb : Typedtree.value_binding) =
+    (match (vb.vb_pat.pat_desc, is_adj_call ctx vb.vb_expr) with
+    | Tpat_var (ident, _), true -> Hashtbl.replace tainted (Ident.unique_name ident) ()
+    | _ -> ());
+    Tast_iterator.default_iterator.value_binding it vb
+  in
+  let it = { Tast_iterator.default_iterator with value_binding } in
+  it.structure it str
+
+let is_tainted ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (Path.Pident ident, _, _) -> Hashtbl.mem tainted (Ident.unique_name ident)
+  | _ -> is_adj_call ctx e
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:
+      "never mutate arrays obtained from Relation.adj_* — they are shared \
+       with the relation's index (copy first)"
+    ~applies:Lint_rule.lib_only
+    ~on_file:(fun ctx str -> collect_taints ctx str)
+    ~on_expr:(fun ctx e ->
+      match e.Typedtree.exp_desc with
+      | Texp_apply (fn, args) -> (
+        match Lint_ctx.ident_of_expr ctx fn with
+        | Some name -> (
+          match List.assoc_opt name mutators with
+          | Some dest_index -> (
+            match List.nth_opt args dest_index with
+            | Some (_, Some dest) when is_tainted ctx dest ->
+              Lint_ctx.emit ctx ~rule:id ~loc:e.exp_loc
+                ~message:
+                  (Printf.sprintf
+                     "%s mutates an array bound from Relation.adj_* (shared \
+                      with the index)"
+                     name)
+                ~hint:"Array.copy the adjacency array before mutating it"
+            | _ -> ())
+          | None -> ())
+        | None -> ())
+      | _ -> ())
+    ()

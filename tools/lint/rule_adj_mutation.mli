@@ -1,0 +1,9 @@
+(** Rule [adj-mutation]: local dataflow check that no array obtained
+    from [Relation.adj_src]/[adj_dst] (which share storage with the
+    relation's index) is mutated — via [a.(i) <- _], [Array.fill],
+    [Array.blit] destination, or an in-place sort.  Taint is tracked per
+    file through let-bindings of direct [adj_*] calls. *)
+
+val id : string
+
+val rule : Lint_rule.t

@@ -1,0 +1,97 @@
+let id = "domain-unsafe-global"
+
+(* Applications of these (normalized) functions allocate unsynchronized
+   mutable state.  Atomic.make, Mutex/Condition/Semaphore creation and
+   Domain.DLS.new_key are deliberately absent: those are the sanctioned
+   shared-state primitives. *)
+let creators =
+  [
+    "Stdlib.ref";
+    "Stdlib.Array.make";
+    "Stdlib.Array.init";
+    "Stdlib.Array.create_float";
+    "Stdlib.Array.make_matrix";
+    "Stdlib.Array.copy";
+    "Stdlib.Array.of_list";
+    "Stdlib.Array.of_seq";
+    "Stdlib.Array.append";
+    "Stdlib.Array.concat";
+    "Stdlib.Array.sub";
+    "Stdlib.Hashtbl.create";
+    "Stdlib.Hashtbl.of_seq";
+    "Stdlib.Buffer.create";
+    "Stdlib.Bytes.create";
+    "Stdlib.Bytes.make";
+    "Stdlib.Bytes.of_string";
+    "Stdlib.Queue.create";
+    "Stdlib.Stack.create";
+    "Jp_util.Vec.create";
+  ]
+
+let rec creates_mutable ctx (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_apply (fn, _) -> (
+    match Lint_ctx.ident_of_expr ctx fn with
+    | Some name -> List.mem name creators
+    | None -> false)
+  | Texp_array (_ :: _) -> true
+  | Texp_record { fields; _ } ->
+    Array.exists
+      (fun ((lbl : Types.label_description), _) -> lbl.lbl_mut = Asttypes.Mutable)
+      fields
+  | Texp_let (_, _, body) -> creates_mutable ctx body
+  | Texp_sequence (_, e2) -> creates_mutable ctx e2
+  | Texp_ifthenelse (_, e1, Some e2) ->
+    creates_mutable ctx e1 || creates_mutable ctx e2
+  | Texp_ifthenelse (_, e1, None) -> creates_mutable ctx e1
+  | Texp_tuple es -> List.exists (creates_mutable ctx) es
+  | _ -> false
+
+let check_binding ctx (vb : Typedtree.value_binding) =
+  let allows =
+    Lint_ctx.allows_of_attributes ctx vb.vb_attributes
+    @ Lint_ctx.allows_of_attributes ctx vb.vb_expr.exp_attributes
+  in
+  Lint_ctx.with_allows ctx allows (fun () ->
+      let vouched =
+        match Lint_ctx.domain_safe_of_attributes ctx vb.vb_attributes with
+        | Some _ as j -> j
+        | None -> Lint_ctx.domain_safe_of_attributes ctx vb.vb_expr.exp_attributes
+      in
+      match vouched with
+      | Some _ -> ()
+      | None ->
+        if creates_mutable ctx vb.vb_expr then
+          Lint_ctx.emit ctx ~rule:id ~loc:vb.vb_loc
+            ~message:
+              "top-level mutable state in a library shared across service \
+               worker domains"
+            ~hint:
+              "use Atomic.t, a Mutex-guarded value, or Domain.DLS; if access \
+               really is safe, annotate [@@jp.domain_safe \"why\"]")
+
+let rec scan_items ctx items = List.iter (scan_item ctx) items
+
+and scan_item ctx (item : Typedtree.structure_item) =
+  match item.str_desc with
+  | Tstr_value (_, vbs) -> List.iter (check_binding ctx) vbs
+  | Tstr_module mb -> scan_module ctx mb.mb_expr
+  | Tstr_recmodule mbs ->
+    List.iter (fun (mb : Typedtree.module_binding) -> scan_module ctx mb.mb_expr) mbs
+  | _ -> ()
+
+and scan_module ctx (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Tmod_structure s -> scan_items ctx s.str_items
+  | Tmod_constraint (me, _, _, _) -> scan_module ctx me
+  | _ -> ()
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:
+      "top-level mutable state in lib/ must be Atomic, Domain.DLS, \
+       mutex-guarded, or carry [@@jp.domain_safe \"why\"] (static race lint \
+       for the multi-domain service)"
+    ~applies:Lint_rule.lib_only
+    ~on_file:(fun ctx str -> scan_items ctx str.str_items)
+    ()

@@ -1,0 +1,14 @@
+(** Rule [domain-unsafe-global]: a lightweight static race detector.
+
+    [Jp_service] runs engines on multiple worker domains, so any
+    top-level binding in [lib/] that allocates unsynchronized mutable
+    state ([ref], arrays, [Hashtbl], [Buffer], records with mutable
+    fields, ...) is flagged unless it is an [Atomic.t], lives behind
+    [Domain.DLS], or carries an explicit [[@@jp.domain_safe "why"]]
+    vouching attribute (e.g. "all access guarded by events_lock").
+    Nested modules are scanned recursively; locals inside functions are
+    not flagged. *)
+
+val id : string
+
+val rule : Lint_rule.t

@@ -1,0 +1,29 @@
+let id = "hashtbl-dedup"
+
+let flagged = [ "add"; "mem"; "replace"; "find"; "find_opt"; "find_all"; "remove" ]
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:
+      "no Hashtbl traffic inside engine hot loops — dense-int dedup belongs \
+       in stamp vectors (ABL-DEDUP)"
+    ~applies:Lint_rule.engine_only
+    ~on_expr:(fun ctx e ->
+      if ctx.Lint_ctx.loop_depth >= 1 then
+        match e.Typedtree.exp_desc with
+        | Texp_apply (fn, _) -> (
+          match Lint_ctx.ident_of_expr ctx fn with
+          | Some name
+            when String.starts_with ~prefix:"Stdlib.Hashtbl." name
+                 && List.mem
+                      (String.sub name 15 (String.length name - 15))
+                      flagged ->
+            Lint_ctx.emit ctx ~rule:id ~loc:e.exp_loc
+              ~message:(Printf.sprintf "%s inside an engine loop" name)
+              ~hint:
+                "for dense int keys use a stamp vector (see ABL-DEDUP); if \
+                 keys are genuinely sparse/structured, suppress with a \
+                 justification"
+          | _ -> ())
+        | _ -> ())
+    ()

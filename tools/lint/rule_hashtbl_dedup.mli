@@ -1,0 +1,8 @@
+(** Rule [hashtbl-dedup]: no [Hashtbl] operations inside loops in the
+    engine libraries ([lib/{core,ssj,scj,bsi,wcoj}]).  Dense-int dedup
+    must use stamp vectors (the load-bearing ABL-DEDUP choice); genuinely
+    sparse or structured keys need an explicit justification. *)
+
+val id : string
+
+val rule : Lint_rule.t

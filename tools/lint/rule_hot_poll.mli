@@ -1,0 +1,9 @@
+(** Rule [hot-poll]: the per-tuple-polling ban.  Calls to
+    [Cancel.is_cancelled]/[check], [Jp_obs] counter bumps/spans, or
+    [Jp_cache] lookups at syntactic loop-nesting depth >= 2 are flagged;
+    the repo prices all of these for once-per-chunk granularity
+    (guard/cancel/cache/obs rules in CLAUDE.md). *)
+
+val id : string
+
+val rule : Lint_rule.t

@@ -1,0 +1,17 @@
+let id = "missing-mli"
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:"every lib/ module ships an .mli with doc comments"
+    ~applies:Lint_rule.lib_only
+    ~on_file:(fun ctx str ->
+      if not ctx.Lint_ctx.has_mli then
+        let loc =
+          match str.Typedtree.str_items with
+          | item :: _ -> item.str_loc
+          | [] -> Location.none
+        in
+        Lint_ctx.emit ctx ~rule:id ~loc
+          ~message:(Printf.sprintf "%s has no interface file" ctx.source)
+          ~hint:"add a documented .mli next to the .ml (house style)")
+    ()

@@ -1,0 +1,7 @@
+(** Rule [missing-mli]: every [lib/] module must have an interface file
+    (checked as: the compiled [.cmt] has a sibling [.cmti]).  Dune's
+    generated wrapper modules ([.ml-gen]) are excluded by the driver. *)
+
+val id : string
+
+val rule : Lint_rule.t

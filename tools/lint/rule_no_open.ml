@@ -1,0 +1,21 @@
+let id = "no-open"
+
+let hint =
+  "bind a file-top alias instead: module M = Jp_x.M (house style: no open)"
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:"no open in lib/ — module aliases at file top only"
+    ~applies:Lint_rule.lib_only
+    ~on_str_item:(fun ctx item ->
+      match item.Typedtree.str_desc with
+      | Tstr_open _ ->
+        Lint_ctx.emit ctx ~rule:id ~loc:item.str_loc
+          ~message:"structure-level open" ~hint
+      | _ -> ())
+    ~on_expr:(fun ctx e ->
+      match e.Typedtree.exp_desc with
+      | Texp_open (_, _) ->
+        Lint_ctx.emit ctx ~rule:id ~loc:e.exp_loc ~message:"local open" ~hint
+      | _ -> ())
+    ()

@@ -1,0 +1,6 @@
+(** Rule [no-open]: [lib/] modules use file-top module aliases, never
+    [open] — neither structure-level nor [let open]/[M.(...)]. *)
+
+val id : string
+
+val rule : Lint_rule.t

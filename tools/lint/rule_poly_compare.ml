@@ -1,0 +1,18 @@
+let id = "poly-compare"
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:
+      "no polymorphic Stdlib.compare in lib/ (radix Intsort / monomorphic \
+       comparators are load-bearing, see ABL-SORT)"
+    ~applies:Lint_rule.lib_only
+    ~on_expr:(fun ctx e ->
+      match Lint_ctx.ident_of_expr ctx e with
+      | Some "Stdlib.compare" ->
+        Lint_ctx.emit ctx ~rule:id ~loc:e.Typedtree.exp_loc
+          ~message:"polymorphic Stdlib.compare in library code"
+          ~hint:
+            "use Jp_util.Intsort for int arrays, or a monomorphic comparator \
+             (Int.compare, String.compare, List.compare Int.compare, ...)"
+      | _ -> ())
+    ()

@@ -1,0 +1,7 @@
+(** Rule [poly-compare]: no resolved use of [Stdlib.compare] in [lib/].
+    Polymorphic comparison on hot paths is what {!Jp_util.Intsort} and
+    the monomorphic comparators exist to avoid (ABL-SORT). *)
+
+val id : string
+
+val rule : Lint_rule.t

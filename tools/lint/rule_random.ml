@@ -1,0 +1,20 @@
+let id = "random"
+
+(* The seeded generator itself is the one legitimate client of the
+   stdlib PRNG, should it ever want to delegate. *)
+let exempt_sources = [ "lib/util/rng.ml" ]
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:
+      "all randomness flows through Jp_util.Rng with explicit seeds; Stdlib \
+       Random is banned everywhere"
+    ~on_expr:(fun ctx e ->
+      if not (List.mem ctx.Lint_ctx.source exempt_sources) then
+        match Lint_ctx.ident_of_expr ctx e with
+        | Some name when String.starts_with ~prefix:"Stdlib.Random." name ->
+          Lint_ctx.emit ctx ~rule:id ~loc:e.Typedtree.exp_loc
+            ~message:(Printf.sprintf "call to %s breaks seeded determinism" name)
+            ~hint:"thread a Jp_util.Rng.t created from an explicit seed instead"
+        | _ -> ())
+    ()

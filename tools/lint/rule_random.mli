@@ -1,0 +1,7 @@
+(** Rule [random]: no [Stdlib.Random] anywhere (lib, bin, bench, test) —
+    generators, tests and benches must stay deterministic under explicit
+    seeds via [Jp_util.Rng].  [lib/util/rng.ml] itself is exempt. *)
+
+val id : string
+
+val rule : Lint_rule.t
