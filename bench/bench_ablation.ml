@@ -23,7 +23,12 @@
                overhead of a cold cache, warm-path reuse of prepared
                statistics and heavy-part products, and the end-to-end
                speedup on a Zipf-repeated served workload where repeats
-               hit the whole-result level (own tag, CI smoke). *)
+               hit the whole-result level (own tag, CI smoke);
+   ABL-OBS     the observability/metrics stack (Jp_obs + Jp_metrics):
+               cost of recording armed but nothing exported — spans,
+               counters, latency histograms, gauges and per-query
+               snapshots all live — vs recording off, on the bare
+               engine and on the served path (own tag, CI smoke). *)
 
 module Relation = Jp_relation.Relation
 module Presets = Jp_workload.Presets
@@ -440,6 +445,99 @@ let semantic_cache cfg =
   Bench_common.note
     "Zipf-repeated served workload (repeats resolve from the result level";
   Bench_common.note "without touching a worker; every answer stays verified)."
+
+let obs cfg =
+  Bench_common.section
+    "ABL-OBS: observability/metrics overhead, armed but not exported";
+  (* The effect under test is a few percent at most, far below the
+     run-to-run noise of a single repeat, so this ablation takes the
+     median of at least 5 runs per cell even at --quick. *)
+  let cfg = { cfg with Bench_common.repeats = max cfg.Bench_common.repeats 5 } in
+  let count ?cancel r =
+    Jp_relation.Pairs.count (Joinproj.Two_path.project ?cancel ~r ~s:r ())
+  in
+  (* A small pipelined batch through the service: with recording armed
+     this path pays spans with args, lifecycle counters, two histogram
+     observations, queue/in-flight gauge updates and one gauge snapshot
+     per query.  Batching amortizes the per-query submit/await domain
+     handoff, which is far noisier than the effect under test. *)
+  let serve_batch = 6 in
+  let serve svc r =
+    let tickets =
+      List.init serve_batch (fun _ ->
+          Jp_service.submit svc (fun ~cancel ~attempt:_ ~degraded:_ -> count ~cancel r))
+    in
+    List.fold_left
+      (fun _ tk ->
+        match (Jp_service.await tk).Jp_service.outcome with
+        | Ok n -> n
+        | Error e -> failwith ("ABL-OBS: " ^ Jp_service.error_to_string e))
+      0 tickets
+  in
+  let timed label f =
+    let n = ref 0 in
+    let t = Bench_common.time ~label cfg (fun () -> n := f ()) in
+    (t, !n)
+  in
+  let pct off on =
+    if off <= 0.0 then "-" else Printf.sprintf "%+.1f%%" (((on /. off) -. 1.0) *. 100.0)
+  in
+  let was_recording = Jp_obs.recording () in
+  let rows =
+    List.map
+      (fun name ->
+        let r = Bench_common.dataset cfg name in
+        let ds = Presets.to_string name in
+        (* Recording-off cells run first (Bench_common only emits JSON
+           records for armed cells, so those rows are timing-only); the
+           untimed warmup calls keep allocator/cache warm-up effects out
+           of whichever cell happens to run first. *)
+        Jp_obs.disable ();
+        ignore (count r);
+        let e_off, n0 = timed (ds ^ "/engine-off") (fun () -> count r) in
+        let svc = Jp_service.create Jp_service.default in
+        ignore (serve svc r);
+        let s_off, n1 = timed (ds ^ "/served-off") (fun () -> serve svc r) in
+        Jp_service.shutdown svc;
+        Jp_obs.enable ();
+        ignore (count r);
+        let e_on, n2 = timed (ds ^ "/engine-armed") (fun () -> count r) in
+        let svc = Jp_service.create Jp_service.default in
+        ignore (serve svc r);
+        let s_on, n3 = timed (ds ^ "/served-armed") (fun () -> serve svc r) in
+        Jp_service.shutdown svc;
+        Bench_common.check_consistent cfg ~label:ds [ n0; n1; n2; n3 ];
+        [
+          ds;
+          Tablefmt.seconds e_off;
+          Tablefmt.seconds e_on;
+          pct e_off e_on;
+          Tablefmt.seconds s_off;
+          Tablefmt.seconds s_on;
+          pct s_off s_on;
+        ])
+      [ Presets.Jokes; Presets.Dblp ]
+  in
+  if was_recording then Jp_obs.enable () else Jp_obs.disable ();
+  Tablefmt.print
+    ~header:
+      [
+        "dataset";
+        "engine off";
+        "engine armed";
+        "overhead";
+        "served off";
+        "served armed";
+        "overhead";
+      ]
+    ~rows;
+  Bench_common.note
+    "armed = Jp_obs.enable() with histograms, gauges and per-query snapshots";
+  Bench_common.note
+    "live but nothing exported (target: <2%% over recording off); the";
+  Bench_common.note
+    "engine columns price span/counter gating, the served columns add the";
+  Bench_common.note "full Jp_metrics path — same |OUT| in every cell."
 
 let all cfg =
   dedup cfg;

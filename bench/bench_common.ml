@@ -86,11 +86,22 @@ let cache_summary counters =
       ("bytes", Int (get "cache.bytes"));
     ]
 
-let emit_record ?checksum ~label ~seconds counters =
+(* Exact nearest-rank quantile over the per-repeat times — the sample is
+   tiny (repeats runs), so no bucketing, just a sort. *)
+let run_quantile q dts =
+  let a = Array.of_list dts in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+  a.(max 0 (min (n - 1) (rank - 1)))
+
+let emit_record ?checksum ~label ~seconds ~runs counters =
   let open Jp_obs.Json in
   let fields =
     [ ("experiment", String !current_tag); ("label", String label);
-      ("seconds", Float seconds) ]
+      ("seconds", Float seconds);
+      ("p50", Float (run_quantile 0.50 runs));
+      ("p95", Float (run_quantile 0.95 runs)) ]
     @ (match checksum with Some c -> [ ("checksum", Int c) ] | None -> [])
     @ [ ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters));
         ("cache", cache_summary counters) ]
@@ -103,14 +114,18 @@ let auto_label = function
     incr cell_seq;
     Printf.sprintf "cell%d" !cell_seq
 
-let time_raw cfg f = snd (Jp_util.Timer.time_median ~repeats:cfg.repeats f)
+let time_runs_raw cfg f =
+  let _, dt, runs = Jp_util.Timer.time_runs ~repeats:cfg.repeats f in
+  (dt, runs)
+
+let time_raw cfg f = fst (time_runs_raw cfg f)
 
 let time ?label cfg f =
   if not (Jp_obs.recording ()) then time_raw cfg f
   else begin
     let before = Jp_obs.counter_values () in
-    let t = time_raw cfg f in
-    emit_record ~label:(auto_label label) ~seconds:t
+    let t, runs = time_runs_raw cfg f in
+    emit_record ~label:(auto_label label) ~seconds:t ~runs
       (counter_delta before (Jp_obs.counter_values ()));
     t
   end
@@ -127,8 +142,8 @@ let timed_cell ?label cfg f =
     if not (Jp_obs.recording ()) then time_raw cfg run
     else begin
       let before = Jp_obs.counter_values () in
-      let t = time_raw cfg run in
-      emit_record ~checksum:!result ~label:(auto_label label) ~seconds:t
+      let t, runs = time_runs_raw cfg run in
+      emit_record ~checksum:!result ~label:(auto_label label) ~seconds:t ~runs
         (counter_delta before (Jp_obs.counter_values ()));
       t
     end

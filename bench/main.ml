@@ -30,6 +30,7 @@ let experiments =
     ("ABL-GUARD", Bench_ablation.guard);
     ("ABL-CHAOS", Bench_ablation.chaos);
     ("ABL-CACHE", Bench_ablation.semantic_cache);
+    ("ABL-OBS", Bench_ablation.obs);
   ]
 
 let () =

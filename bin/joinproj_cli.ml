@@ -386,6 +386,36 @@ let bsi_cmd =
       const run $ dataset $ input_file $ scale $ seed $ domains $ batch $ rate
       $ count $ combinatorial $ adaptive $ budget_ms $ inject_est)
 
+let write_text ~what path content =
+  match open_out path with
+  | oc ->
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    Printf.printf "wrote %s to %s\n" what path
+  | exception Sys_error msg ->
+    Printf.eprintf "joinproj: cannot write %s: %s\n" what msg;
+    exit 1
+
+(* Shared by profile, serve and stress. *)
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Also write the span events as Chrome-trace JSON (load in \
+           chrome://tracing or Perfetto).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write an OpenMetrics/Prometheus text exposition of the run's \
+           counters, gauges and latency histograms.")
+
 let profile_cmd =
   let what =
     Arg.(
@@ -398,17 +428,8 @@ let profile_cmd =
       & info [] ~docv:"WHAT"
           ~doc:"Flow to profile: $(b,join), $(b,star), $(b,ssj), $(b,scj) or $(b,bsi).")
   in
-  let trace_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:
-            "Also write the span events as Chrome-trace JSON (load in \
-             chrome://tracing or Perfetto).")
-  in
-  let run name input scale seed domains what trace_out adaptive budget_ms
-      inject_est =
+  let run name input scale seed domains what trace_out metrics_out adaptive
+      budget_ms inject_est =
     let r = load_source name input scale seed in
     let guard = guard_of adaptive budget_ms inject_est in
     (* The plan lines come from the same helper as [explain]; print them
@@ -418,6 +439,7 @@ let profile_cmd =
     | `Star -> ()
     | `Join | `Ssj | `Scj | `Bsi -> print_explain ~domains r);
     Jp_obs.reset ();
+    Jp_metrics.reset ();
     Jp_obs.enable ();
     let label, count, t =
       Fun.protect ~finally:Jp_obs.disable (fun () ->
@@ -458,18 +480,14 @@ let profile_cmd =
     print_string (Jp_obs.render_counters ());
     print_newline ();
     print_string (Jp_obs.render_plans ());
-    match trace_out with
+    (match trace_out with
     | None -> ()
-    | Some path -> (
-      match open_out path with
-      | oc ->
-        Fun.protect
-          ~finally:(fun () -> close_out oc)
-          (fun () -> output_string oc (Jp_obs.chrome_trace_string ()));
-        Printf.printf "wrote Chrome trace to %s\n" path
-      | exception Sys_error msg ->
-        Printf.eprintf "joinproj: cannot write Chrome trace: %s\n" msg;
-        exit 1)
+    | Some path ->
+      write_text ~what:"Chrome trace" path (Jp_metrics.chrome_trace_string ()));
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      write_text ~what:"OpenMetrics exposition" path (Jp_metrics.exposition ())
   in
   Cmd.v
     (Cmd.info "profile"
@@ -478,7 +496,7 @@ let profile_cmd =
           the engine counters and the plan-vs-actual table.")
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ what
-      $ trace_out $ adaptive $ budget_ms $ inject_est)
+      $ trace_out_arg $ metrics_out_arg $ adaptive $ budget_ms $ inject_est)
 
 let query_cmd =
   let query_text =
@@ -620,9 +638,11 @@ let service_workload ~seed ~domains ~nq ~skew r =
   (engine_of, count_of, ident, sub_of)
 
 let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-    ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew =
+    ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~metrics_out
+    ~trace_out =
   let r = load_source name input scale seed in
   Jp_obs.reset ();
+  Jp_metrics.reset ();
   Jp_obs.enable ();
   let engine_of, count_of, ident, sub_of =
     service_workload ~seed ~domains ~nq ~skew r
@@ -716,6 +736,73 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
   | None -> ()
   | Some c ->
     Format.printf "\n%a@." Jp_cache.pp_stats (Jp_cache.stats c));
+  (* Latency summary over the run's reports, bucketed with the same
+     base-√2 ladder as the service histograms: quantiles are bucket upper
+     bounds, so the table's shape (and, for a fixed seed, its bucket
+     placement) is deterministic even though raw times vary. *)
+  let module Hist = Jp_metrics.Hist in
+  let outcome_keys =
+    [ "ok"; "ok (cache hit)"; "overloaded"; "deadline"; "cancelled"; "failed" ]
+  in
+  let by_outcome = List.map (fun k -> (k, Hist.create ())) outcome_keys in
+  let queued = Hist.create () and ran = Hist.create () in
+  Array.iter
+    (fun rep ->
+      let key =
+        match rep.Jp_service.outcome with
+        | Ok _ -> if rep.Jp_service.cache_hit then "ok (cache hit)" else "ok"
+        | Error Jp_service.Overloaded -> "overloaded"
+        | Error Jp_service.Deadline_exceeded -> "deadline"
+        | Error Jp_service.Cancelled -> "cancelled"
+        | Error (Jp_service.Failed _) -> "failed"
+      in
+      Hist.observe (List.assoc key by_outcome) rep.Jp_service.ran_s;
+      (* Rejected queries never entered the queue: they would only dilute
+         the latency distributions with zeros. *)
+      if key <> "overloaded" then begin
+        Hist.observe queued rep.Jp_service.queued_s;
+        Hist.observe ran rep.Jp_service.ran_s
+      end)
+    reports;
+  let cell h q =
+    if Hist.count h = 0 then "-" else Jp_util.Tablefmt.seconds (Hist.quantile h q)
+  in
+  let cell_max h =
+    if Hist.count h = 0 then "-"
+    else Jp_util.Tablefmt.seconds (Hist.max_value h)
+  in
+  print_newline ();
+  Jp_util.Tablefmt.print
+    ~header:[ "latency"; "p50"; "p95"; "p99"; "max"; "n" ]
+    ~rows:
+      (List.map
+         (fun (label, h) ->
+           [
+             label;
+             cell h 0.50;
+             cell h 0.95;
+             cell h 0.99;
+             cell_max h;
+             string_of_int (Hist.count h);
+           ])
+         [ ("queued", queued); ("ran", ran) ]);
+  print_newline ();
+  Jp_util.Tablefmt.print
+    ~header:[ "outcome"; "n"; "ran p50"; "ran p95"; "ran max" ]
+    ~rows:
+      (List.map
+         (fun (k, h) ->
+           [ k; string_of_int (Hist.count h); cell h 0.50; cell h 0.95;
+             cell_max h ])
+         by_outcome);
+  (match metrics_out with
+  | None -> ()
+  | Some path ->
+    write_text ~what:"OpenMetrics exposition" path (Jp_metrics.exposition ()));
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    write_text ~what:"Chrome trace" path (Jp_metrics.chrome_trace_string ()));
   let spawned = Jp_obs.value Jp_obs.C.service_workers_spawned in
   let joined = Jp_obs.value Jp_obs.C.service_workers_joined in
   Jp_obs.disable ();
@@ -792,9 +879,10 @@ let query_skew =
 
 let serve_cmd =
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms cache_mb skew =
+      deadline_ms cache_mb skew metrics_out trace_out =
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
       ~retries ~backoff_ms ~deadline_ms ~chaos:None ~cache_mb ~skew
+      ~metrics_out ~trace_out
   in
   Cmd.v
     (Cmd.info "serve"
@@ -807,7 +895,7 @@ let serve_cmd =
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
       $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
-      $ cache_mb_arg $ query_skew)
+      $ cache_mb_arg $ query_skew $ metrics_out_arg $ trace_out_arg)
 
 let stress_cmd =
   let chaos_seed =
@@ -837,7 +925,8 @@ let stress_cmd =
       & info [ "slow-ms" ] ~docv:"MS" ~doc:"Length of injected slowdowns.")
   in
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms cache_mb skew chaos_seed p_transient p_kill p_slow slow_ms =
+      deadline_ms cache_mb skew metrics_out trace_out chaos_seed p_transient
+      p_kill p_slow slow_ms =
     let chaos =
       Some
         {
@@ -850,7 +939,8 @@ let stress_cmd =
         }
     in
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-      ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew
+      ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~metrics_out
+      ~trace_out
   in
   Cmd.v
     (Cmd.info "stress"
@@ -863,8 +953,8 @@ let stress_cmd =
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
       $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
-      $ cache_mb_arg $ query_skew $ chaos_seed $ p_transient $ p_kill $ p_slow
-      $ slow_ms)
+      $ cache_mb_arg $ query_skew $ metrics_out_arg $ trace_out_arg
+      $ chaos_seed $ p_transient $ p_kill $ p_slow $ slow_ms)
 
 let calibrate_cmd =
   let run () =

@@ -73,6 +73,10 @@ let arm fault ~after =
   let togo = Atomic.make after in
   fun () ->
     if Atomic.fetch_and_add togo (-1) = 1 then begin
+      (* Mark the delivery in the trace: the instant lands on the worker
+         domain's lane, inside the service.attempt span it interrupted. *)
+      Jp_obs.instant "chaos.fault"
+        ~args:[ ("fault", Jp_obs.Json.String (fault_to_string fault)) ];
       match fault with
       | Transient ->
         Jp_obs.incr Jp_obs.C.chaos_transients;

@@ -143,6 +143,8 @@ type event = {
   path : string list; (* innermost first *)
   t0 : float;
   t1 : float;
+  args : (string * Json.t) list; (* trace correlation payload *)
+  inst : bool; (* instant marker rather than an interval *)
 }
 
 let events_lock = Mutex.create ()
@@ -157,7 +159,7 @@ let event_seq =
    spans nest under their own roots instead of racing on a global. *)
 let stack_key : string list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let timed_span name f =
+let timed_span ?(args = []) name f =
   if not (Atomic.get on) then (f (), 0.0)
   else begin
     let stack = Domain.DLS.get stack_key in
@@ -170,7 +172,9 @@ let timed_span name f =
       Mutex.lock events_lock;
       let seq = !event_seq in
       Stdlib.incr event_seq;
-      events := { tid = (Domain.self () :> int); seq; path; t0; t1 } :: !events;
+      events :=
+        { tid = (Domain.self () :> int); seq; path; t0; t1; args; inst = false }
+        :: !events;
       Mutex.unlock events_lock;
       t1 -. t0
     in
@@ -183,7 +187,28 @@ let timed_span name f =
       raise e
   end
 
-let span name f = fst (timed_span name f)
+let span ?args name f = fst (timed_span ?args name f)
+
+let instant ?(args = []) name =
+  if Atomic.get on then begin
+    let stack = Domain.DLS.get stack_key in
+    let t = Timer.now () in
+    Mutex.lock events_lock;
+    let seq = !event_seq in
+    Stdlib.incr event_seq;
+    events :=
+      {
+        tid = (Domain.self () :> int);
+        seq;
+        path = name :: !stack;
+        t0 = t;
+        t1 = t;
+        args;
+        inst = true;
+      }
+      :: !events;
+    Mutex.unlock events_lock
+  end
 
 let span_events () =
   Mutex.lock events_lock;
@@ -265,23 +290,39 @@ let render_spans () =
       ~header:[ "span"; "calls"; "total"; "self" ]
       ~rows:(List.rev !rows)
 
-let chrome_trace () =
+let chrome_trace ?extra () =
   let evs = span_events () in
   let base = match evs with [] -> 0.0 | ev :: _ -> ev.t0 in
   let trace_events =
     List.map
       (fun ev ->
+        let shape =
+          if ev.inst then
+            [ ("ph", Json.String "i"); ("s", Json.String "t") ]
+          else
+            [
+              ("ph", Json.String "X");
+              ("dur", Json.Float ((ev.t1 -. ev.t0) *. 1e6));
+            ]
+        in
         Json.Obj
-          [
-            ("name", Json.String (List.hd ev.path));
-            ("cat", Json.String "joinproj");
-            ("ph", Json.String "X");
-            ("ts", Json.Float ((ev.t0 -. base) *. 1e6));
-            ("dur", Json.Float ((ev.t1 -. ev.t0) *. 1e6));
-            ("pid", Json.Int 1);
-            ("tid", Json.Int ev.tid);
-          ])
+          ([
+             ("name", Json.String (List.hd ev.path));
+             ("cat", Json.String "joinproj");
+           ]
+          @ shape
+          @ [
+              ("ts", Json.Float ((ev.t0 -. base) *. 1e6));
+              ("pid", Json.Int 1);
+              ("tid", Json.Int ev.tid);
+            ]
+          @ (match ev.args with [] -> [] | args -> [ ("args", Json.Obj args) ])))
       evs
+  in
+  let trace_events =
+    match extra with
+    | None -> trace_events
+    | Some f -> trace_events @ f ~base
   in
   let counter_args =
     List.filter_map
@@ -295,7 +336,7 @@ let chrome_trace () =
       ("otherData", Json.Obj [ ("counters", Json.Obj counter_args) ]);
     ]
 
-let chrome_trace_string () = Json.to_string (chrome_trace ())
+let chrome_trace_string ?extra () = Json.to_string (chrome_trace ?extra ())
 
 (* ------------------------------------------------------------------ *)
 (* plan vs actual                                                      *)

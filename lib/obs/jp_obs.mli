@@ -33,15 +33,26 @@ val reset : unit -> unit
 
 (** {1 Spans} *)
 
-val span : string -> (unit -> 'a) -> 'a
+val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f], recording one wall-clock event nested under
     the calling domain's innermost open span.  Exceptions propagate after
-    the span is closed. *)
+    the span is closed.  [args] (default empty) rides along into the
+    Chrome-trace export — {!Jp_service} uses it to stamp every span of a
+    query with its [trace_id]/[attempt] so a served workload's lanes can
+    be correlated per query. *)
 
-val timed_span : string -> (unit -> 'a) -> 'a * float
+val timed_span :
+  ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a * float
 (** Like {!span} but also returns elapsed seconds ([0.] when disabled) —
     used by engines to fill the [phases] of a plan-vs-actual record
     without timing twice. *)
+
+val instant : ?args:(string * Json.t) list -> string -> unit
+(** Record a zero-duration marker event (dropped while recording is off)
+    nested under the calling domain's innermost open span: Chrome-trace
+    ["i"] events such as [service.outcome] or [chaos.fault].  In the
+    aggregated {!span_tree} an instant contributes a call with zero
+    seconds. *)
 
 type span_node = {
   name : string;
@@ -58,14 +69,17 @@ val render_spans : unit -> string
 (** Plain-text tree (indented {!Jp_util.Tablefmt} table) with per-node
     total and self time. *)
 
-val chrome_trace : unit -> Json.t
+val chrome_trace : ?extra:(base:float -> Json.t list) -> unit -> Json.t
 (** Chrome-trace ("trace event format") document: one complete ["X"]
-    event per span with microsecond [ts]/[dur] relative to the first
-    event, [tid] = recording domain; nonzero counters ride along under
-    [otherData.counters].  Load the result in [chrome://tracing] or
-    Perfetto. *)
+    event per span (["i"] per {!instant}) with microsecond [ts]/[dur]
+    relative to the first event, [tid] = recording domain, span [args]
+    attached; nonzero counters ride along under [otherData.counters].
+    [extra ~base] may append further trace events (timestamps relative
+    to [base], the first event's absolute time) — {!Jp_metrics} injects
+    its gauge-snapshot ["C"] counter events this way.  Load the result
+    in [chrome://tracing] or Perfetto. *)
 
-val chrome_trace_string : unit -> string
+val chrome_trace_string : ?extra:(base:float -> Json.t list) -> unit -> string
 
 (** {1 Counters} *)
 

@@ -2,6 +2,8 @@ module Cancel = Jp_util.Cancel
 module Pool = Jp_parallel.Pool
 module Timer = Jp_util.Timer
 module C = Jp_obs.C
+module Json = Jp_obs.Json
+module Metrics = Jp_metrics
 
 type error =
   | Overloaded
@@ -42,6 +44,7 @@ type 'a report = {
   cache_hit : bool;
   queued_s : float;
   ran_s : float;
+  trace_id : int;
 }
 
 type 'a ticket = {
@@ -79,6 +82,7 @@ type t = {
   lock : Mutex.t;
   nonempty : Condition.t;
   queue : job Queue.t;
+  next_trace : int Atomic.t; (* per-service trace ids, in submission order *)
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
 }
@@ -96,8 +100,12 @@ let worker_loop t =
     end
     else begin
       let job = Queue.pop t.queue in
+      let depth = Queue.length t.queue in
       Mutex.unlock t.lock;
-      job.exec ()
+      Metrics.set_gauge Metrics.G.queue_depth depth;
+      Metrics.add_gauge Metrics.G.inflight 1;
+      job.exec ();
+      Metrics.add_gauge Metrics.G.inflight (-1)
     end
   done
 
@@ -111,6 +119,7 @@ let create cfg =
       lock = Mutex.create ();
       nonempty = Condition.create ();
       queue = Queue.create ();
+      next_trace = Atomic.make 0;
       stopping = false;
       domains = [];
     }
@@ -119,11 +128,18 @@ let create cfg =
   t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
   t
 
+let outcome_string = function
+  | Ok _ -> "ok"
+  | Error Overloaded -> "overloaded"
+  | Error Deadline_exceeded -> "deadline"
+  | Error Cancelled -> "cancelled"
+  | Error (Failed _) -> "failed"
+
 (* One query execution on a worker domain: attempt loop with exponential
    backoff on injected transients, then a final degraded attempt.  Every
    exception is mapped to a typed error — nothing escapes to the worker
    loop. *)
-let run_query t ~key ~cancel ~submitted_at ~cached ~work tk =
+let run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~work tk =
   let started = Timer.now () in
   let attempts = ref 0 in
   let retries = ref 0 in
@@ -131,7 +147,14 @@ let run_query t ~key ~cancel ~submitted_at ~cached ~work tk =
   let run_attempt ~degraded:d =
     let attempt = !attempts in
     incr attempts;
-    Jp_obs.span "service.attempt" (fun () ->
+    Jp_obs.span "service.attempt"
+      ~args:
+        [
+          ("trace_id", Json.Int trace_id);
+          ("attempt", Json.Int attempt);
+          ("degraded", Json.Bool d);
+        ]
+      (fun () ->
         match t.cfg.chaos with
         | None -> work ~cancel ~attempt ~degraded:d
         | Some ccfg ->
@@ -182,6 +205,22 @@ let run_query t ~key ~cancel ~submitted_at ~cached ~work tk =
   | Ok v, Some b when not !degraded ->
     ignore (Jp_cache.binding_publish b ~cost_s:(Timer.now () -. started) v)
   | _ -> ());
+  let queued_s = started -. submitted_at in
+  let ran_s = Timer.now () -. started in
+  (* Aggregate once per query (chunk granularity): two histogram
+     observations, one outcome marker, one gauge snapshot. *)
+  Metrics.observe Metrics.H.service_queued_seconds queued_s;
+  Metrics.observe Metrics.H.service_ran_seconds ran_s;
+  Jp_obs.instant "service.outcome"
+    ~args:
+      [
+        ("trace_id", Json.Int trace_id);
+        ("outcome", Json.String (outcome_string outcome));
+        ("attempts", Json.Int !attempts);
+        ("retries", Json.Int !retries);
+        ("degraded", Json.Bool !degraded);
+      ];
+  Metrics.snapshot ();
   resolve tk
     {
       outcome;
@@ -189,23 +228,26 @@ let run_query t ~key ~cancel ~submitted_at ~cached ~work tk =
       retries = !retries;
       degraded = !degraded;
       cache_hit = false;
-      queued_s = started -. submitted_at;
-      ran_s = Timer.now () -. started;
+      queued_s;
+      ran_s;
+      trace_id;
     }
 
-let rejected_report =
+let base_report =
   { outcome = Error Overloaded; attempts = 0; retries = 0; degraded = false;
-    cache_hit = false; queued_s = 0.0; ran_s = 0.0 }
+    cache_hit = false; queued_s = 0.0; ran_s = 0.0; trace_id = 0 }
 
-let aborted_report =
-  { rejected_report with outcome = Error Cancelled }
+let rejected_report ~trace_id = { base_report with trace_id }
 
-let hit_report v =
-  { outcome = Ok v; attempts = 0; retries = 0; degraded = false;
-    cache_hit = true; queued_s = 0.0; ran_s = 0.0 }
+let aborted_report ~trace_id =
+  { base_report with outcome = Error Cancelled; trace_id }
+
+let hit_report v ~trace_id =
+  { base_report with outcome = Ok v; cache_hit = true; trace_id }
 
 let submit t ?(key = 0) ?deadline_s ?cached work =
   Jp_obs.incr C.service_submitted;
+  let trace_id = Atomic.fetch_and_add t.next_trace 1 in
   (* Consult the cache before dispatch: a hit resolves on the submitting
      thread — no queue slot, no worker, no attempt.  The hit still counts
      as accepted + completed, so the lifecycle balance the service tests
@@ -214,8 +256,9 @@ let submit t ?(key = 0) ?deadline_s ?cached work =
   | Some (Some v) ->
     Jp_obs.incr C.service_accepted;
     Jp_obs.incr C.service_completed;
+    Jp_obs.instant "service.cache_hit" ~args:[ ("trace_id", Json.Int trace_id) ];
     { tlock = Mutex.create (); tcond = Condition.create ();
-      result = Some (hit_report v); tcancel = Cancel.create () }
+      result = Some (hit_report v ~trace_id); tcancel = Cancel.create () }
   | _ ->
   let deadline_s =
     match deadline_s with Some _ as d -> d | None -> t.cfg.default_deadline_s
@@ -230,9 +273,10 @@ let submit t ?(key = 0) ?deadline_s ?cached work =
     {
       exec =
         (fun () ->
-          Jp_obs.span "service.query" (fun () ->
-              run_query t ~key ~cancel ~submitted_at ~cached ~work tk));
-      abort = (fun () -> resolve tk aborted_report);
+          Jp_obs.span "service.query" ~args:[ ("trace_id", Json.Int trace_id) ]
+            (fun () ->
+              run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~work tk));
+      abort = (fun () -> resolve tk (aborted_report ~trace_id));
     }
   in
   Mutex.lock t.lock;
@@ -243,11 +287,14 @@ let submit t ?(key = 0) ?deadline_s ?cached work =
     Queue.push job t.queue;
     Condition.signal t.nonempty
   end;
+  let depth = Queue.length t.queue in
   Mutex.unlock t.lock;
+  Metrics.set_gauge Metrics.G.queue_depth depth;
   if accepted then Jp_obs.incr C.service_accepted
   else begin
     Jp_obs.incr C.service_rejected;
-    resolve tk rejected_report
+    Jp_obs.instant "service.rejected" ~args:[ ("trace_id", Json.Int trace_id) ];
+    resolve tk (rejected_report ~trace_id)
   end;
   tk
 

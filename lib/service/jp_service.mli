@@ -30,7 +30,12 @@
 
     Everything the service does is visible through the [service.*]
     counters and [service.query]/[service.attempt] spans of {!Jp_obs}
-    when recording is on. *)
+    when recording is on.  Every span and marker carries the query's
+    [trace_id] (see {!type:report}), and the service additionally feeds
+    {!Jp_metrics}: one [service.queued_seconds]/[service.ran_seconds]
+    histogram observation and one gauge snapshot per executed query,
+    plus the [service.queue_depth] and [service.inflight] gauges —
+    aggregate latency and load, not just per-ticket numbers. *)
 
 module Cancel = Jp_util.Cancel
 
@@ -64,6 +69,12 @@ type 'a report = {
   cache_hit : bool;  (** served from the cache: [attempts = 0], no worker ran *)
   queued_s : float;  (** admission to first execution *)
   ran_s : float;  (** execution (all attempts and backoffs) *)
+  trace_id : int;
+      (** per-service query id, assigned in submission order; the same id
+          stamps every [Jp_obs] span and instant of this query's
+          lifecycle ([service.query], each [service.attempt], the
+          [service.outcome] / [service.cache_hit] / [service.rejected]
+          markers), correlating a Chrome-trace export per query *)
 }
 
 type 'a ticket

@@ -6,8 +6,8 @@ let time f =
   let t1 = now () in
   (x, t1 -. t0)
 
-let time_median ?(repeats = 3) f =
-  if repeats < 1 then invalid_arg "Timer.time_median";
+let time_runs ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timer.time_runs";
   let runs =
     List.init repeats (fun i ->
         let x, dt = time f in
@@ -22,4 +22,9 @@ let time_median ?(repeats = 3) f =
       runs
   in
   let dt, _, x = List.nth sorted (repeats / 2) in
+  (x, dt, List.map (fun (dt, _, _) -> dt) runs)
+
+let time_median ?(repeats = 3) f =
+  if repeats < 1 then invalid_arg "Timer.time_median";
+  let x, dt, _ = time_runs ~repeats f in
   (x, dt)

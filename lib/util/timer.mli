@@ -7,6 +7,13 @@ val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result together with elapsed wall
     seconds. *)
 
+val time_runs : ?repeats:int -> (unit -> 'a) -> 'a * float * float list
+(** [time_runs ~repeats f] runs [f] [repeats] times (default 3) and
+    returns the result and elapsed time of the median-timed run (see
+    {!time_median}) {e plus} every run's elapsed seconds in run order —
+    the raw sample the bench harness summarizes into p50/p95 alongside
+    the median.  Raises [Invalid_argument] when [repeats < 1]. *)
+
 val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
 (** [time_median ~repeats f] runs [f] [repeats] times (default 3) and
     returns the result {e and} elapsed time of the median-timed run;

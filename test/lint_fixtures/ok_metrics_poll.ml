@@ -1,0 +1,12 @@
+(* negative fixture: hot-poll — the sanctioned metrics pattern: observe
+   into a domain-local accumulator inside the loops, publish one bulk
+   merge (and take one snapshot) at the phase boundary *)
+let hist = Jp_metrics.histogram "fixture.ok_metrics_seconds"
+
+let scan (rows : float array array) =
+  let acc = Jp_metrics.Local.create hist in
+  Array.iter
+    (fun row -> Array.iter (fun v -> Jp_metrics.Local.observe acc v) row)
+    rows;
+  Jp_metrics.Local.publish acc;
+  Jp_metrics.snapshot ()

@@ -92,6 +92,10 @@ let suite =
     clean "domain-unsafe-global" "ok_global";
     fires "hot-poll" "bad_hot_poll";
     clean "hot-poll" "ok_hot_poll";
+    Alcotest.test_case "hot-poll fires on Jp_metrics" `Quick
+      (check_fires "hot-poll" "bad_metrics_poll");
+    Alcotest.test_case "hot-poll negative on Jp_metrics.Local" `Quick
+      (check_clean "hot-poll" "ok_metrics_poll");
     fires "adj-mutation" "bad_adj_mutation";
     clean "adj-mutation" "ok_adj_mutation";
     fires "missing-mli" "bad_no_mli";

@@ -20,6 +20,7 @@ let () =
       ("io", Test_io.suite);
       ("dynamic", Test_dynamic.suite);
       ("obs", Test_obs.suite);
+      ("metrics", Test_metrics.suite);
       ("adaptive", Test_adaptive.suite);
       ("service", Test_service.suite);
       ("cache", Test_cache.suite);

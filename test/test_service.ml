@@ -387,6 +387,58 @@ let shape rep =
     rep.Service.retries,
     rep.Service.degraded )
 
+(* ------------------------------------------------------------------ *)
+(* Trace correlation: every query gets a distinct trace id in           *)
+(* submission order, reports carry it, and the Chrome trace / latency   *)
+(* histograms are fed one record per executed query.                    *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_trace_ids () =
+  let r = small Presets.Jokes in
+  with_recording (fun () ->
+      Jp_metrics.reset ();
+      let nq = 4 in
+      let reports =
+        with_service Service.default (fun svc ->
+            let tickets =
+              List.init nq (fun _ ->
+                  Service.submit svc (fun ~cancel ~attempt:_ ~degraded ->
+                      count_query r ~cancel ~degraded))
+            in
+            List.map Service.await tickets)
+      in
+      Alcotest.(check (list int)) "trace ids assigned in submission order"
+        (List.init nq Fun.id)
+        (List.map (fun rep -> rep.Service.trace_id) reports);
+      let trace = Jp_metrics.chrome_trace_string () in
+      List.iter
+        (fun rep ->
+          Alcotest.(check bool)
+            (Printf.sprintf "trace carries query %d's id" rep.Service.trace_id)
+            true
+            (contains trace
+               (Printf.sprintf "\"trace_id\":%d" rep.Service.trace_id)))
+        reports;
+      Alcotest.(check bool) "attempt spans recorded" true
+        (contains trace "\"name\":\"service.attempt\"");
+      Alcotest.(check bool) "outcome instants recorded" true
+        (contains trace "\"name\":\"service.outcome\"");
+      Alcotest.(check bool) "outcome carries the verdict" true
+        (contains trace "\"outcome\":\"ok\"");
+      let hist name =
+        Jp_metrics.Hist.count (Jp_metrics.histogram_value name)
+      in
+      Alcotest.(check int) "one queued-latency record per query" nq
+        (hist Jp_metrics.H.service_queued_seconds);
+      Alcotest.(check int) "one ran-latency record per query" nq
+        (hist Jp_metrics.H.service_ran_seconds);
+      Jp_metrics.reset ())
+
 let test_chaos_workload_deterministic () =
   let r = small Presets.Jokes in
   let a = List.map shape (run_chaos_workload ~seed:2 ~nq:12 r) in
@@ -410,5 +462,6 @@ let suite =
     Alcotest.test_case "persistent fault fails" `Quick test_persistent_fault_fails;
     Alcotest.test_case "slowdown harmless" `Quick test_slowdown_is_harmless;
     Alcotest.test_case "chaos workload properties" `Quick test_chaos_workload_properties;
+    Alcotest.test_case "trace ids correlate" `Quick test_trace_ids;
     Alcotest.test_case "chaos workload deterministic" `Quick test_chaos_workload_deterministic;
   ]

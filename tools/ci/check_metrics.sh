@@ -1,0 +1,63 @@
+#!/bin/sh
+# Validate an OpenMetrics exposition written by `joinproj_cli serve|stress
+# --metrics-out` (or `profile --metrics-out`): the file must be terminated
+# by "# EOF", must record at least one executed query, and the service
+# counters must balance --
+#
+#   submitted       = accepted + rejected
+#   accepted        = completed + failed + deadline + cancelled
+#   workers_spawned = workers_joined
+#
+# Usage: sh tools/ci/check_metrics.sh FILE.om
+# Exits non-zero with a message on the first violated invariant.
+set -eu
+
+file="${1:?usage: check_metrics.sh FILE.om}"
+
+[ -f "$file" ] || { echo "check_metrics: no such file: $file" >&2; exit 1; }
+
+tail -n 1 "$file" | grep -q '^# EOF$' \
+  || { echo "check_metrics: $file not terminated by '# EOF'" >&2; exit 1; }
+
+awk '
+  # counter samples are bare "name value" lines; collect the ones we need
+  /^jp_service_[a-z_]+_total [0-9]+$/ { v[$1] = $2 }
+  /^jp_service_ran_seconds_count [0-9]+$/ { ran = $2 }
+  END {
+    submitted = v["jp_service_submitted_total"]
+    accepted  = v["jp_service_accepted_total"]
+    rejected  = v["jp_service_rejected_overload_total"]
+    resolved  = v["jp_service_completed_total"] + v["jp_service_failed_total"] \
+              + v["jp_service_deadline_exceeded_total"] \
+              + v["jp_service_cancelled_total"]
+    spawned   = v["jp_service_workers_spawned_total"]
+    joined    = v["jp_service_workers_joined_total"]
+    status = 0
+    if (submitted == 0) {
+      print "check_metrics: no submissions recorded (empty or wrong file?)"
+      status = 1
+    }
+    if (submitted != accepted + rejected) {
+      printf "check_metrics: admissions do not balance: submitted %d != accepted %d + rejected %d\n", \
+        submitted, accepted, rejected
+      status = 1
+    }
+    if (accepted != resolved) {
+      printf "check_metrics: resolutions do not balance: accepted %d != completed+failed+deadline+cancelled %d\n", \
+        accepted, resolved
+      status = 1
+    }
+    if (spawned != joined) {
+      printf "check_metrics: leaked worker domains: spawned %d != joined %d\n", \
+        spawned, joined
+      status = 1
+    }
+    if (ran == 0) {
+      print "check_metrics: jp_service_ran_seconds_count is 0 (no query ever executed)"
+      status = 1
+    }
+    exit status
+  }
+' "$file" >&2 || exit 1
+
+echo "check_metrics: $file OK"

@@ -1,7 +1,10 @@
 let id = "hot-poll"
 
-(* Cancellation polls, observability bumps and cache traffic are priced
-   for chunk/phase granularity; at loop depth >= 2 they are per-tuple. *)
+(* Cancellation polls, observability bumps, cache traffic and metric
+   recordings are priced for chunk/phase granularity; at loop depth >= 2
+   they are per-tuple.  Jp_metrics.Local.observe is deliberately absent:
+   accumulating into a domain-local histogram inside the loop and
+   publishing once at the boundary is the approved pattern. *)
 let poll_functions =
   [
     "Jp_util.Cancel.is_cancelled";
@@ -10,12 +13,18 @@ let poll_functions =
     "Jp_obs.add";
     "Jp_obs.span";
     "Jp_obs.timed_span";
+    "Jp_obs.instant";
     "Jp_cache.find";
     "Jp_cache.put";
     "Jp_cache.offer";
     "Jp_cache.find_or_build";
     "Jp_cache.binding_find";
     "Jp_cache.binding_publish";
+    "Jp_metrics.observe";
+    "Jp_metrics.set_gauge";
+    "Jp_metrics.add_gauge";
+    "Jp_metrics.snapshot";
+    "Jp_metrics.Local.publish";
   ]
 
 let rule =
