@@ -31,6 +31,7 @@ let experiments =
     ("ABL-CHAOS", Bench_ablation.chaos);
     ("ABL-CACHE", Bench_ablation.semantic_cache);
     ("ABL-OBS", Bench_ablation.obs);
+    ("ABL-CQ", Bench_ablation.cq);
   ]
 
 let () =

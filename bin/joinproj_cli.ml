@@ -498,6 +498,24 @@ let profile_cmd =
       const run $ dataset $ input_file $ scale $ seed $ domains $ what
       $ trace_out_arg $ metrics_out_arg $ adaptive $ budget_ms $ inject_est)
 
+let policy_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Jp_query.Planner.Cost_gate);
+             ("mm", Jp_query.Planner.Always_mm);
+             ("yannakakis", Jp_query.Planner.Never_mm);
+           ])
+        Jp_query.Planner.Cost_gate
+    & info [ "policy" ] ~docv:"P"
+        ~doc:
+          "Fragment dispatch policy: $(b,auto) (carve MM fragments when the \
+           calibrated cost model predicts a win), $(b,mm) (force every \
+           eligible fragment through the MM engines), $(b,yannakakis) (pure \
+           semijoin program, no MM fragments).")
+
 let query_cmd =
   let query_text =
     Arg.(
@@ -508,39 +526,90 @@ let query_cmd =
             "Conjunctive query, e.g. 'Q(x,z) :- R(x,y), S(z,y)'.  The \
              relations R, S and T all resolve to the chosen dataset.")
   in
-  let run name input scale seed query_text =
+  let explain_flag =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:
+            "Print the full plan tree (stitch root, MM fragments with their \
+             cost-gate estimates, scans) before running.")
+  in
+  let run name input scale seed domains policy explain_flag cache_mb adaptive
+      budget_ms inject_est query_text =
     let r = load_source name input scale seed in
     let catalog = [ ("R", r); ("S", r); ("T", r) ] in
+    let guard = guard_of adaptive budget_ms inject_est in
+    let cache =
+      if cache_mb > 0 then
+        Some (Jp_cache.create ~config:(Jp_cache.with_budget_mb cache_mb) ())
+      else None
+    in
     match Jp_query.Cq.parse query_text with
     | Error e -> prerr_endline e
     | Ok q -> (
-      (match Jp_query.Engine.plan_of q with
-      | Ok plan -> print_endline ("plan: " ^ Jp_query.Engine.describe plan)
+      (match Jp_query.Engine.plan_of ~domains ~policy ~catalog q with
+      | Ok plan ->
+        print_endline ("plan: " ^ Jp_query.Engine.describe plan);
+        if explain_flag then print_string (Jp_query.Engine.explain plan)
       | Error e -> print_endline ("plan: " ^ e));
-      let result, t = Jp_util.Timer.time (fun () -> Jp_query.Engine.run catalog q) in
-      match result with
-      | Error e -> prerr_endline e
-      | Ok tuples ->
-        Printf.printf "%s tuples in %s\n"
-          (Jp_util.Tablefmt.big_int (Jp_relation.Tuples.count tuples))
-          (Jp_util.Tablefmt.seconds t);
-        let shown = ref 0 in
-        (try
-           Jp_relation.Tuples.iter
-             (fun tuple ->
-               if !shown >= 5 then raise Exit;
-               incr shown;
-               Printf.printf "  (%s)\n"
-                 (String.concat ", " (List.map string_of_int (Array.to_list tuple))))
-             tuples
-         with Exit -> print_endline "  ..."))
+      if q.Jp_query.Cq.head = [] then begin
+        let result, t =
+          Jp_util.Timer.time (fun () ->
+              Jp_query.Engine.boolean ~domains ~policy ?guard ?cache catalog q)
+        in
+        match result with
+        | Error e -> prerr_endline e
+        | Ok sat ->
+          Printf.printf "boolean: %s in %s\n"
+            (if sat then "true" else "false")
+            (Jp_util.Tablefmt.seconds t)
+      end
+      else begin
+        let result, t =
+          Jp_util.Timer.time (fun () ->
+              Jp_query.Engine.run ~domains ~policy ?guard ?cache catalog q)
+        in
+        match result with
+        | Error e -> prerr_endline e
+        | Ok tuples ->
+          Printf.printf "%s tuples in %s\n"
+            (Jp_util.Tablefmt.big_int (Jp_relation.Tuples.count tuples))
+            (Jp_util.Tablefmt.seconds t);
+          let shown = ref 0 in
+          (try
+             Jp_relation.Tuples.iter
+               (fun tuple ->
+                 if !shown >= 5 then raise Exit;
+                 incr shown;
+                 Printf.printf "  (%s)\n"
+                   (String.concat ", " (List.map string_of_int (Array.to_list tuple))))
+               tuples
+           with Exit -> print_endline "  ...")
+      end)
+  in
+  let cache_mb_query =
+    Arg.(
+      value & opt int 0
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:
+            "Semantic cache budget in megabytes (prepared statistics and \
+             heavy matrix products are reused across this query's MM \
+             fragments); 0 disables caching.")
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:
-         "Evaluate a conjunctive query (star shapes dispatch to MMJoin, other \
-          acyclic queries to Yannakakis).")
-    Term.(const run $ dataset $ input_file $ scale $ seed $ query_text)
+         "Evaluate a conjunctive query.  Whole-query star shapes dispatch \
+          directly to MMJoin; every other acyclic query goes through the \
+          decomposition planner, which carves embedded 2-path / k-star \
+          fragments for the MM engines (cost-gated; see $(b,--policy)) and \
+          stitches them back into the Yannakakis semijoin program.  An \
+          empty head, e.g. 'Q() :- R(x,y), S(z,y)', is answered as a \
+          boolean query.")
+    Term.(
+      const run $ dataset $ input_file $ scale $ seed $ domains $ policy_arg
+      $ explain_flag $ cache_mb_query $ adaptive $ budget_ms $ inject_est
+      $ query_text)
 
 let export_cmd =
   let out =
@@ -579,18 +648,34 @@ let stats_cmd =
 (* ------------------------------------------------------------------ *)
 (* serve / stress: the resilient query service                         *)
 
-(* The served workload: query i runs one of four engine flavours on a
+(* The query pool for the general-CQ service flavour: acyclic,
+   non-whole-star queries that exercise the decomposition planner (carved
+   2-path fragments stitched into Yannakakis, boolean heads, dangling
+   variables).  All relation names resolve to the query's sub-relation. *)
+let cq_pool =
+  lazy
+    (Array.map
+       (fun s -> Result.get_ok (Jp_query.Cq.parse s))
+       [|
+         "Q(a, d) :- R(a, b), S(b, c), T(c, d)";
+         "Q(a) :- R(a, b), S(c, b), T(c, d)";
+         "Q(a, c) :- R(a, b), S(c, b), T(c, d)";
+         "Q() :- R(a, b), S(c, b)";
+       |])
+
+(* The served workload: query i runs one of five engine flavours on a
    pseudo-random sub-relation of the dataset (seeded per query, so the
    workload — and the chaos plan keyed on the query index — is
    reproducible).  Expected outputs come from direct, fault-free engine
    calls before the service starts; a served query must match them
-   exactly or end in a typed error.
+   exactly or end in a typed error.  [flavour] other than [`Auto] pins
+   every query to one engine.
 
    With [skew] > 0 the queries draw their identity from a pool of
    [~nq/4] distinct sub-relations with Zipf([skew]) popularity — the
    repeated-query traffic a semantic cache exists for.  [skew] = 0 keeps
    the historical one-distinct-query-per-submission workload. *)
-let service_workload ~seed ~domains ~nq ~skew r =
+let service_workload ~seed ~domains ~nq ~skew ~flavour r =
   let n = Relation.src_count r in
   let distinct = if skew > 0.0 then max 1 ((nq + 3) / 4) else nq in
   let ident =
@@ -602,11 +687,27 @@ let service_workload ~seed ~domains ~nq ~skew r =
     else Array.init nq (fun i -> i)
   in
   let engine_of i =
-    match ident.(i) mod 4 with
-    | 0 -> ("mm", `Mm)
-    | 1 -> ("nonmm", `Nonmm)
-    | 2 -> ("ssj", `Ssj)
-    | _ -> ("scj", `Scj)
+    match flavour with
+    | `Mm -> ("mm", `Mm)
+    | `Nonmm -> ("nonmm", `Nonmm)
+    | `Ssj -> ("ssj", `Ssj)
+    | `Scj -> ("scj", `Scj)
+    | `Cq -> ("cq", `Cq)
+    | `Auto -> (
+      match ident.(i) mod 5 with
+      | 0 -> ("mm", `Mm)
+      | 1 -> ("nonmm", `Nonmm)
+      | 2 -> ("ssj", `Ssj)
+      | 3 -> ("scj", `Scj)
+      | _ -> ("cq", `Cq))
+  in
+  let engine_code i =
+    match snd (engine_of i) with
+    | `Mm -> 0
+    | `Nonmm -> 1
+    | `Ssj -> 2
+    | `Scj -> 3
+    | `Cq -> 4
   in
   let subs =
     Array.init distinct (fun d ->
@@ -634,18 +735,30 @@ let service_workload ~seed ~domains ~nq ~skew r =
         (Jp_ssj.Mm_ssj.join ~domains ?guard ?cancel ?cache ~c:2 sub)
     | `Scj ->
       Jp_relation.Pairs.count (Jp_scj.Mm_scj.join ~domains ?guard ?cancel ?cache sub)
+    | `Cq -> (
+      let pool = Lazy.force cq_pool in
+      let q = pool.(ident.(i) mod Array.length pool) in
+      let catalog = [ ("R", sub); ("S", sub); ("T", sub) ] in
+      if q.Jp_query.Cq.head = [] then
+        match Jp_query.Engine.boolean ~domains ?guard ?cancel ?cache catalog q with
+        | Ok sat -> if sat then 1 else 0
+        | Error e -> failwith ("cq flavour: " ^ e)
+      else
+        match Jp_query.Engine.run ~domains ?guard ?cancel ?cache catalog q with
+        | Ok tuples -> Jp_relation.Tuples.count tuples
+        | Error e -> failwith ("cq flavour: " ^ e))
   in
-  (engine_of, count_of, ident, sub_of)
+  (engine_of, engine_code, count_of, sub_of)
 
 let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-    ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~metrics_out
-    ~trace_out =
+    ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~flavour
+    ~metrics_out ~trace_out =
   let r = load_source name input scale seed in
   Jp_obs.reset ();
   Jp_metrics.reset ();
   Jp_obs.enable ();
-  let engine_of, count_of, ident, sub_of =
-    service_workload ~seed ~domains ~nq ~skew r
+  let engine_of, engine_code, count_of, sub_of =
+    service_workload ~seed ~domains ~nq ~skew ~flavour r
   in
   (* Expected answers come from direct, cache-free calls: the cache must
      only ever reproduce them. *)
@@ -661,7 +774,7 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
       (fun c ->
         let key =
           Jp_cache.Key.of_relations ~kind:"serve.result"
-            ~params:[ ident.(i) mod 4 ]
+            ~params:[ engine_code i ]
             [ sub_of i ]
         in
         Jp_cache.binding c count_tag key
@@ -877,11 +990,31 @@ let query_skew =
            Q/4 distinct sub-relations, so hot queries repeat.  0 keeps every \
            query distinct.")
 
+let flavour_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", `Auto);
+             ("mm", `Mm);
+             ("nonmm", `Nonmm);
+             ("ssj", `Ssj);
+             ("scj", `Scj);
+             ("cq", `Cq);
+           ])
+        `Auto
+    & info [ "flavour" ] ~docv:"F"
+        ~doc:
+          "Engine flavour for every query: $(b,mm), $(b,nonmm), $(b,ssj), \
+           $(b,scj) or $(b,cq) (general conjunctive queries through the \
+           decomposition planner).  $(b,auto) cycles through all five.")
+
 let serve_cmd =
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms cache_mb skew metrics_out trace_out =
+      deadline_ms cache_mb skew flavour metrics_out trace_out =
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-      ~retries ~backoff_ms ~deadline_ms ~chaos:None ~cache_mb ~skew
+      ~retries ~backoff_ms ~deadline_ms ~chaos:None ~cache_mb ~skew ~flavour
       ~metrics_out ~trace_out
   in
   Cmd.v
@@ -895,7 +1028,8 @@ let serve_cmd =
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
       $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
-      $ cache_mb_arg $ query_skew $ metrics_out_arg $ trace_out_arg)
+      $ cache_mb_arg $ query_skew $ flavour_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 let stress_cmd =
   let chaos_seed =
@@ -925,8 +1059,8 @@ let stress_cmd =
       & info [ "slow-ms" ] ~docv:"MS" ~doc:"Length of injected slowdowns.")
   in
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms cache_mb skew metrics_out trace_out chaos_seed p_transient
-      p_kill p_slow slow_ms =
+      deadline_ms cache_mb skew flavour metrics_out trace_out chaos_seed
+      p_transient p_kill p_slow slow_ms =
     let chaos =
       Some
         {
@@ -939,8 +1073,8 @@ let stress_cmd =
         }
     in
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
-      ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~metrics_out
-      ~trace_out
+      ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~flavour
+      ~metrics_out ~trace_out
   in
   Cmd.v
     (Cmd.info "stress"
@@ -953,8 +1087,8 @@ let stress_cmd =
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
       $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
-      $ cache_mb_arg $ query_skew $ metrics_out_arg $ trace_out_arg
-      $ chaos_seed $ p_transient $ p_kill $ p_slow $ slow_ms)
+      $ cache_mb_arg $ query_skew $ flavour_arg $ metrics_out_arg
+      $ trace_out_arg $ chaos_seed $ p_transient $ p_kill $ p_slow $ slow_ms)
 
 let calibrate_cmd =
   let run () =

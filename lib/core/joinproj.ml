@@ -15,6 +15,8 @@
       closed forms;
     - {!Estimator} — output-size estimation (Section 5 + sampling);
     - {!Partition} — the light/heavy degree partition itself;
+    - {!Fragment} — per-fragment MM cost gate + runners for the
+      conjunctive-query decomposition planner;
     - {!Factorized} — compressed (biclique-factorized) join views.
 
     The applications built on these — set similarity, set containment,
@@ -26,4 +28,5 @@ module Estimator = Estimator
 module Optimizer = Optimizer
 module Two_path = Two_path
 module Star = Star
+module Fragment = Fragment
 module Factorized = Factorized

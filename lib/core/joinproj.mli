@@ -28,5 +28,9 @@ module Two_path = Two_path
 module Star = Star
 (** The Section 3.2 star algorithm. *)
 
+module Fragment = Fragment
+(** Per-fragment MM cost gate + runners for the conjunctive-query
+    decomposition planner ([Jp_query.Planner]). *)
+
 module Factorized = Factorized
 (** Compressed (biclique-factorized) join views. *)

@@ -210,7 +210,9 @@ let project_impl ~strategy ~thresholds ~guard ~cancel rels =
   let heavy_lists y =
     Array.mapi
       (fun i r ->
-        if light_in_all_others i y then [||]
+        (* mixed-orientation stars give the relations different y domains;
+           past a relation's dst space its adjacency is empty *)
+        if y >= Relation.dst_count r || light_in_all_others i y then [||]
         else
           Array.of_seq
             (Seq.filter

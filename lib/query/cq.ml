@@ -120,10 +120,15 @@ let parse input =
     let _name = parse_ident c in
     expect c '(';
     skip_ws c;
-    let head =
+    let parse_head_var c =
+      skip_ws c;
+      let pos = c.pos in
+      (parse_var c, pos)
+    in
+    let head_with_pos =
       match peek c with
       | Some ')' -> []
-      | _ -> parse_separated c parse_var []
+      | _ -> parse_separated c parse_head_var []
     in
     expect c ')';
     expect c ':';
@@ -133,13 +138,14 @@ let parse input =
     (match peek c with
     | Some ch -> error c (Printf.sprintf "unexpected trailing '%c'" ch)
     | None -> ());
+    let head = List.map fst head_with_pos in
     let q = { head; body } in
     let body_vars = vars q in
     List.iter
-      (fun v ->
+      (fun (v, pos) ->
         if not (List.mem v body_vars) then
-          raise (Parse_error ("head variable '" ^ v ^ "' not bound in body", 0)))
-      head;
+          raise (Parse_error ("head variable '" ^ v ^ "' not bound in body", pos)))
+      head_with_pos;
     Ok q
   with Parse_error (msg, pos) ->
     Error (Printf.sprintf "parse error at offset %d: %s" pos msg)

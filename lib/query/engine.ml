@@ -3,7 +3,7 @@ module Tuples = Jp_relation.Tuples
 
 type catalog = Yannakakis.catalog
 
-type plan = Star_mm of { k : int } | General
+type plan = Star_mm of { k : int } | Planned of Planner.t
 
 (* A star query: every atom is R(x_i, y) or R(y, x_i) with one global join
    variable y, the x_i pairwise distinct and different from y, and the
@@ -42,16 +42,22 @@ let star_shape q =
     in
     List.find_map try_candidate candidates
 
-let plan_of q =
+let plan_of ?domains ?(policy = Planner.Cost_gate) ?catalog q =
   match star_shape q with
-  | Some (_, parts) -> Ok (Star_mm { k = List.length parts })
-  | None ->
-    if Hypergraph.is_acyclic q then Ok General
-    else Error "query is cyclic (GYO reduction failed)"
+  | Some (_, parts) when policy <> Planner.Never_mm ->
+    Ok (Star_mm { k = List.length parts })
+  | _ -> (
+    match Planner.plan ?domains ~policy ?catalog q with
+    | Ok p -> Ok (Planned p)
+    | Error e -> Error e)
 
 let describe = function
   | Star_mm { k } -> Printf.sprintf "star query (k=%d) via MMJoin" k
-  | General -> "acyclic query via Yannakakis"
+  | Planned p -> Planner.describe p
+
+let explain = function
+  | Star_mm { k } -> Printf.sprintf "star query (k=%d) via MMJoin\n" k
+  | Planned p -> Planner.explain p
 
 let permute_tuples t ~src_order ~dst_order ~dims =
   (* src_order.(i) is the variable of component i; rebuild tuples so that
@@ -72,7 +78,7 @@ let permute_tuples t ~src_order ~dst_order ~dims =
     t;
   Tuples.build b
 
-let run_star catalog q y parts =
+let run_star ?domains ?guard ?cancel catalog q y parts =
   ignore y;
   let resolve (name, orient, x) =
     match List.assoc_opt name catalog with
@@ -91,11 +97,16 @@ let run_star catalog q y parts =
   | Ok resolved ->
     let rels = Array.of_list (List.map fst resolved) in
     let xs = Array.of_list (List.map snd resolved) in
-    let t = Joinproj.Star.project rels in
+    let t = Joinproj.Star.project ?domains ?guard ?cancel rels in
     let dims = Array.map Relation.src_count rels in
     Ok (permute_tuples t ~src_order:xs ~dst_order:(Array.of_list q.Cq.head) ~dims)
 
-let run catalog q =
+let run ?domains ?(policy = Planner.Cost_gate) ?guard ?cancel ?cache catalog q =
   match star_shape q with
-  | Some (y, parts) -> run_star catalog q y parts
-  | None -> Yannakakis.run catalog q
+  | Some (y, parts) when policy <> Planner.Never_mm ->
+    run_star ?domains ?guard ?cancel catalog q y parts
+  | _ -> Planner.run ?domains ~policy ?guard ?cancel ?cache catalog q
+
+let boolean ?domains ?(policy = Planner.Cost_gate) ?guard ?cancel ?cache catalog
+    q =
+  Planner.boolean ?domains ~policy ?guard ?cancel ?cache catalog q

@@ -2,14 +2,11 @@ module SS = Set.Make (String)
 
 type join_tree = { order : int list; parent : int array }
 
-let var_sets q =
-  Array.of_list (List.map (fun a -> SS.of_list (Cq.atom_vars a)) q.Cq.body)
-
-(* GYO: atom e is an ear iff the variables it shares with the rest of the
-   query are all contained in some single other atom f (its parent).
+(* GYO: node e is an ear iff the variables it shares with the rest of the
+   hypergraph are all contained in some single other node f (its parent).
    Variables private to e are irrelevant. *)
-let join_tree q =
-  let sets = var_sets q in
+let join_tree_sets var_lists =
+  let sets = Array.map SS.of_list var_lists in
   let n = Array.length sets in
   if n = 0 then None
   else begin
@@ -63,5 +60,8 @@ let join_tree q =
       Some { order = List.rev (!root :: !order); parent }
     end
   end
+
+let join_tree q =
+  join_tree_sets (Array.of_list (List.map Cq.atom_vars q.Cq.body))
 
 let is_acyclic q = join_tree q <> None

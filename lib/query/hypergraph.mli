@@ -18,4 +18,11 @@ val join_tree : Cq.t -> join_tree option
     tree.  Disconnected queries are accepted (components attach with empty
     shared-variable sets, i.e. cartesian products). *)
 
+val join_tree_sets : string list array -> join_tree option
+(** GYO reduction over explicit variable sets, one per hypergraph node —
+    the generalization the decomposition planner needs, where a node may
+    be a derived bag of arbitrary arity rather than a binary atom.
+    [join_tree q] is [join_tree_sets] over [q]'s atoms' variable sets.
+    The empty array yields [None]. *)
+
 val is_acyclic : Cq.t -> bool

@@ -276,6 +276,96 @@ let test_cached_engines_agree () =
       (Jp_bsi.Bsi.answer_batch ~cache ~r ~s:r queries = bsi_ref)
   done
 
+(* General-CQ rows: the decomposition planner joins the matrix.  Every
+   pool query runs against brute force under each policy, and the
+   guarded / cancelled / cached variants must be byte-identical to the
+   plain run (same guarantee the two-path engines give above). *)
+let cq_pool =
+  [
+    "Q(a, d) :- R(a, b), S(b, c), T(c, d)";
+    "Q(a) :- R(a, b), S(c, b), T(c, d)";
+    "Q(a, b, d) :- R(a, c), S(c, b), T(c, d)";
+    "Q(a, c) :- R(a, b), S(c, b), T(c, d)";
+  ]
+
+let cq_catalog =
+  lazy
+    (List.map
+       (fun (name, seed) ->
+         (name, Gen.random_relation ~seed ~nx:6 ~ny:6 ~edges:14 ()))
+       [ ("R", 21); ("S", 22); ("T", 23) ])
+
+let cq_parse text =
+  match Jp_query.Cq.parse text with
+  | Ok q -> q
+  | Error e -> Alcotest.failf "parse %s: %s" text e
+
+let cq_run ?policy ?guard ?cancel ?cache text =
+  let catalog = Lazy.force cq_catalog in
+  match
+    Jp_query.Engine.run ?policy ?guard ?cancel ?cache catalog (cq_parse text)
+  with
+  | Ok out -> Jp_relation.Tuples.to_list out
+  | Error e -> Alcotest.failf "cq run %s: %s" text e
+
+let test_cq_engine_agrees_with_brute () =
+  let catalog = Lazy.force cq_catalog in
+  List.iter
+    (fun text ->
+      let expect = Gen.brute_cq catalog (cq_parse text) in
+      List.iter
+        (fun (label, policy) ->
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "%s [%s]" text label)
+            expect (cq_run ~policy text))
+        [
+          ("auto", Jp_query.Planner.Cost_gate);
+          ("mm", Jp_query.Planner.Always_mm);
+          ("yannakakis", Jp_query.Planner.Never_mm);
+        ])
+    cq_pool
+
+let test_guarded_cq_agrees () =
+  List.iter
+    (fun text ->
+      let reference = cq_run ~policy:Jp_query.Planner.Always_mm text in
+      List.iter
+        (fun f ->
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "guarded cq x%g %s" f text)
+            reference
+            (cq_run ~policy:Jp_query.Planner.Always_mm ~guard:(guard_of f) text))
+        guard_factors;
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "safe-guarded cq %s" text)
+        reference
+        (cq_run ~policy:Jp_query.Planner.Always_mm ~guard:Jp_adaptive.Guard.safe
+           text))
+    cq_pool
+
+let test_cancelled_cq_agrees () =
+  List.iter
+    (fun text ->
+      let reference = cq_run text in
+      let cancel = Jp_util.Cancel.create () in
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "cancelled cq %s" text)
+        reference (cq_run ~cancel text))
+    cq_pool
+
+let test_cached_cq_agrees () =
+  let cache = Jp_cache.create () in
+  List.iter
+    (fun text ->
+      let reference = cq_run ~policy:Jp_query.Planner.Always_mm text in
+      for pass = 1 to 2 do
+        Alcotest.(check (list (list int)))
+          (Printf.sprintf "cached cq pass %d %s" pass text)
+          reference
+          (cq_run ~policy:Jp_query.Planner.Always_mm ~cache text)
+      done)
+    cq_pool
+
 let test_ordered_consistent_with_unordered () =
   let r = small Presets.Words in
   let c = 2 in
@@ -298,4 +388,8 @@ let suite =
     Alcotest.test_case "guarded bsi agrees" `Quick test_guarded_bsi_agrees;
     Alcotest.test_case "served two-path agrees" `Quick test_served_two_path_agrees;
     Alcotest.test_case "cached engines agree" `Quick test_cached_engines_agree;
+    Alcotest.test_case "cq engine = brute force" `Quick test_cq_engine_agrees_with_brute;
+    Alcotest.test_case "guarded cq agrees" `Quick test_guarded_cq_agrees;
+    Alcotest.test_case "cancelled cq agrees" `Quick test_cancelled_cq_agrees;
+    Alcotest.test_case "cached cq agrees" `Quick test_cached_cq_agrees;
   ]

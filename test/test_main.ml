@@ -16,6 +16,7 @@ let () =
       ("integration", Test_integration.suite);
       ("edge", Test_edge.suite);
       ("query", Test_query.suite);
+      ("planner", Test_planner.suite);
       ("factorized", Test_factorized.suite);
       ("io", Test_io.suite);
       ("dynamic", Test_dynamic.suite);

@@ -45,6 +45,37 @@ let test_parse_errors () =
   fails "Q(x) :- R(x, y) garbage";
   fails "Q(1) :- R(x, y)" (* constant in head *)
 
+let test_parse_edge_cases () =
+  (* duplicate atoms are legal (idempotent joins) *)
+  let q = parse_ok "Q(x) :- R(x, y), R(x, y)" in
+  Alcotest.(check int) "duplicate atoms kept" 2 (List.length q.Cq.body);
+  (* repeated head variable *)
+  let q = parse_ok "Q(x, x) :- R(x, y)" in
+  Alcotest.(check (list string)) "repeated head var" [ "x"; "x" ] q.Cq.head;
+  (* constant-only atom *)
+  let q = parse_ok "Q(x) :- R(x, y), S(1, 2)" in
+  Alcotest.(check (list string)) "constant-only atom has no vars" []
+    (Cq.atom_vars (List.nth q.Cq.body 1));
+  (* whitespace tolerance, and roundtrip through the normalized form *)
+  let q = parse_ok "  Q ( x , z )  :-  R ( x , y ) ,\n  S ( z , y )  " in
+  Alcotest.(check bool) "whitespace-insensitive" true
+    (Cq.equal q (parse_ok "Q(x,z) :- R(x,y), S(z,y)"))
+
+let test_parse_error_positions () =
+  let check_error s expect =
+    match Cq.parse s with
+    | Ok _ -> Alcotest.failf "expected parse failure: %s" s
+    | Error e -> Alcotest.(check string) s expect e
+  in
+  check_error "Q(x) :- R(x y)" "parse error at offset 12: expected ',', found 'y'";
+  (* the unbound-head-variable error points at the variable, not offset 0 *)
+  check_error "Q(w) :- R(x, y)"
+    "parse error at offset 2: head variable 'w' not bound in body";
+  check_error "Q(x, w) :- R(x, y)"
+    "parse error at offset 5: head variable 'w' not bound in body";
+  check_error "Q(1) :- R(x, y)"
+    "parse error at offset 3: head arguments must be variables"
+
 let prop_parse_roundtrip =
   QCheck.Test.make ~name:"generated queries roundtrip through the parser" ~count:100
     QCheck.(pair (int_range 1 4) (int_range 0 3))
@@ -136,41 +167,8 @@ let test_bag_ops () =
   Alcotest.(check int) "cartesian join" 3
     (Bag.cardinality (Bag.join_project a c ~keep:[ "x"; "w" ]))
 
-(* brute-force CQ evaluation: enumerate all variable assignments *)
-let brute catalog q =
-  let vars = Cq.vars q in
-  let dom =
-    List.fold_left
-      (fun acc (_, r) -> max acc (max (Relation.src_count r) (Relation.dst_count r)))
-      0 catalog
-  in
-  let results = Hashtbl.create 64 in
-  let assignment = Hashtbl.create 8 in
-  let term_value = function
-    | Cq.Const k -> k
-    | Cq.Var v -> Hashtbl.find assignment v
-  in
-  let satisfied () =
-    List.for_all
-      (fun atom ->
-        let r = List.assoc atom.Cq.relation catalog in
-        let x, y = atom.Cq.args in
-        let xv = term_value x and yv = term_value y in
-        xv < Relation.src_count r && yv < Relation.dst_count r && Relation.mem r xv yv)
-      q.Cq.body
-  in
-  let rec assign = function
-    | [] ->
-      if satisfied () then
-        Hashtbl.replace results (List.map (fun v -> Hashtbl.find assignment v) q.Cq.head) ()
-    | v :: rest ->
-      for value = 0 to dom - 1 do
-        Hashtbl.replace assignment v value;
-        assign rest
-      done
-  in
-  assign vars;
-  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) results [])
+(* brute-force CQ evaluation: shared with the other suites via Gen *)
+let brute = Gen.brute_cq
 
 let small_catalog seed =
   [
@@ -192,41 +190,38 @@ let queries_for_agreement =
     "Q(x, x, b) :- R(x, b)" (* duplicated head variable *);
   ]
 
-(* random tree-shaped acyclic queries: atom i joins var i+1 to a random
-   earlier var; the head is a random subset of the vars *)
-let prop_random_tree_queries =
-  QCheck.Test.make ~name:"engine = brute force on random tree queries" ~count:30
-    QCheck.(pair (int_range 1 4) (pair small_int small_int))
-    (fun (n_atoms, (shape_seed, data_seed)) ->
-      let g = Jp_util.Rng.create (shape_seed + 7000) in
-      let var i = Printf.sprintf "v%d" i in
-      let body =
-        List.init n_atoms (fun i ->
-            let parent = Jp_util.Rng.int g (i + 1) in
-            let flip = Jp_util.Rng.bool g in
-            let a = Cq.Var (var parent) and b = Cq.Var (var (i + 1)) in
-            {
-              Cq.relation = Printf.sprintf "R%d" (Jp_util.Rng.int g 3);
-              args = (if flip then (b, a) else (a, b));
-            })
-      in
-      let head =
-        List.filteri (fun i _ -> Jp_util.Rng.bool g || i = 0)
-          (List.init (n_atoms + 1) var)
-      in
-      let q = { Cq.head; body } in
-      let catalog =
-        [
-          ("R0", Gen.random_relation ~seed:(data_seed + 1) ~nx:5 ~ny:5 ~edges:12 ());
-          ("R1", Gen.random_relation ~seed:(data_seed + 2) ~nx:5 ~ny:5 ~edges:12 ());
-          ("R2", Gen.random_relation ~seed:(data_seed + 3) ~nx:5 ~ny:5 ~edges:12 ());
-        ]
-      in
-      Hypergraph.is_acyclic q
-      &&
-      match Engine.run catalog q with
-      | Error _ -> false
-      | Ok t -> Tuples.to_list t = brute catalog q)
+(* seeded random acyclic queries (trees, star bursts, parallel edges,
+   constants, repeated variables, disconnected components, boolean
+   heads): the engine must match brute force under every dispatch
+   policy, including Always_mm, which force-routes every eligible
+   fragment through the MM engines even where the cost gate would not *)
+let prop_random_cq_fuzz =
+  let policies =
+    [
+      ("auto", Jp_query.Planner.Cost_gate);
+      ("mm", Jp_query.Planner.Always_mm);
+      ("yannakakis", Jp_query.Planner.Never_mm);
+    ]
+  in
+  QCheck.Test.make ~name:"engine = brute force on seeded random CQs" ~count:200
+    QCheck.small_int (fun seed ->
+      let { Gen.query = q; catalog } = Gen.random_cq ~seed () in
+      if not (Hypergraph.is_acyclic q) then
+        QCheck.Test.fail_reportf "generator produced a cyclic query: %s"
+          (Cq.to_string q);
+      List.for_all
+        (fun (pname, policy) ->
+          if q.Cq.head = [] then (
+            match Engine.boolean ~policy catalog q with
+            | Error e ->
+              QCheck.Test.fail_reportf "%s [%s]: %s" (Cq.to_string q) pname e
+            | Ok sat -> sat = Gen.brute_cq_boolean catalog q)
+          else
+            match Engine.run ~policy catalog q with
+            | Error e ->
+              QCheck.Test.fail_reportf "%s [%s]: %s" (Cq.to_string q) pname e
+            | Ok t -> Tuples.to_list t = brute catalog q)
+        policies)
 
 let test_yannakakis_matches_brute () =
   List.iter
@@ -260,15 +255,25 @@ let test_engine_matches_yannakakis () =
       ])
 
 let test_engine_plans () =
-  let check_plan qs expect =
-    match Engine.plan_of (parse_ok qs) with
+  let check_plan ?policy qs expect =
+    match Engine.plan_of ?policy (parse_ok qs) with
     | Ok p -> Alcotest.(check string) qs expect (Engine.describe p)
     | Error e -> Alcotest.failf "%s: %s" qs e
   in
   check_plan "Q(x, z) :- R(x, y), S(z, y)" "star query (k=2) via MMJoin";
   check_plan "Q(a, b, c) :- R(a, y), S(b, y), T(c, y)" "star query (k=3) via MMJoin";
+  (* without a catalog the cost gate carves nothing *)
   check_plan "Q(a, d) :- R(a, b), S(b, c), T(c, d)" "acyclic query via Yannakakis";
   check_plan "Q(x, y) :- R(x, y), S(y, x)" "acyclic query via Yannakakis";
+  (* forced policies override both the gate and the whole-star bypass *)
+  check_plan ~policy:Jp_query.Planner.Always_mm
+    "Q(a, d) :- R(a, b), S(b, c), T(c, d)"
+    "decomposed: 1 two-path MM fragment + 1 scan via Yannakakis";
+  check_plan ~policy:Jp_query.Planner.Always_mm
+    "Q(a) :- R(a, b), S(c, b), T(c, d)"
+    "decomposed: 1 two-path MM fragment + 1 scan via Yannakakis";
+  check_plan ~policy:Jp_query.Planner.Never_mm "Q(x, z) :- R(x, y), S(z, y)"
+    "acyclic query via Yannakakis";
   (match Engine.plan_of (parse_ok "Q(a) :- R(a, b), S(b, c), T(c, a)") with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "triangle should be rejected")
@@ -295,8 +300,10 @@ let suite =
     Alcotest.test_case "parse constants/repeats" `Quick test_parse_constants_and_repeats;
     Alcotest.test_case "parse boolean head" `Quick test_parse_boolean_head;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse edge cases" `Quick test_parse_edge_cases;
+    Alcotest.test_case "parse error positions" `Quick test_parse_error_positions;
     QCheck_alcotest.to_alcotest prop_parse_roundtrip;
-    QCheck_alcotest.to_alcotest prop_random_tree_queries;
+    QCheck_alcotest.to_alcotest prop_random_cq_fuzz;
     Alcotest.test_case "acyclicity" `Quick test_acyclicity;
     Alcotest.test_case "join tree" `Quick test_join_tree_structure;
     Alcotest.test_case "bag of relation" `Quick test_bag_of_relation;

@@ -83,6 +83,18 @@ let test_star_parallel () =
   let par = Star.project ~domains:4 ~thresholds:(2, 2) rels in
   Alcotest.(check bool) "parallel = sequential" true (Tuples.equal seq par)
 
+(* Mixed y domains, as produced by the query engine's mixed-orientation
+   stars (some atoms transposed): relations whose dst counts differ.
+   Regression: the heavy residue used to index adjacency past the smaller
+   relations' dst space. *)
+let test_star_mixed_dst_counts () =
+  star_threshold_check
+    [|
+      Gen.skewed_relation ~seed:81 ~nx:12 ~ny:7 ~edges:60 ();
+      Relation.transpose (Gen.skewed_relation ~seed:82 ~nx:15 ~ny:12 ~edges:70 ());
+      Gen.skewed_relation ~seed:83 ~nx:11 ~ny:9 ~edges:55 ();
+    |]
+
 let test_star_arity_guard () =
   let r = Gen.random_relation ~seed:80 ~nx:5 ~ny:5 ~edges:10 () in
   Alcotest.check_raises "arity" (Invalid_argument "Star.project: arity must be >= 2")
@@ -97,5 +109,6 @@ let suite =
     Alcotest.test_case "star self join" `Quick test_star_self_join;
     Alcotest.test_case "star default thresholds" `Quick test_star_default_thresholds;
     Alcotest.test_case "star parallel" `Quick test_star_parallel;
+    Alcotest.test_case "star mixed dst counts" `Quick test_star_mixed_dst_counts;
     Alcotest.test_case "star arity guard" `Quick test_star_arity_guard;
   ]
