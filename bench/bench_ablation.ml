@@ -34,7 +34,13 @@
                whole-query star bypass) vs the forced pure-Yannakakis
                foil on queries with projected-away join variables; the
                gate must carve where MM wins (skewed jokes) and decline
-               where |OUT| ~ join size (dblp) (own tag, CI smoke). *)
+               where |OUT| ~ join size (dblp) (own tag, CI smoke);
+   ABL-LOAD    open-loop saturation sweep (Jp_workload.Arrivals +
+               Jp_service.Overload): seeded arrival schedules at rates
+               bracketing the knee, overload controller (shed / dequeue
+               expiry / brownout) vs the bare bounded queue; goodput
+               must stay near the knee with the controller on while the
+               foil collapses past it (own tag, CI smoke). *)
 
 module Relation = Jp_relation.Relation
 module Presets = Jp_workload.Presets
@@ -610,6 +616,163 @@ let cq cfg =
   Bench_common.note
     "declines (dblp: |OUT| ~ join size, MM would not pay); both policies";
   Bench_common.note "must agree on |OUT| in every cell."
+
+(* ABL-LOAD: the open-loop saturation sweep.  A seeded arrival schedule
+   is replayed against the service at rates bracketing the knee
+   (workers / single-query time); past the knee the bare bounded queue
+   (controller off) fills with work that expires uselessly — queued
+   queries die at their deadline, some after burning a worker mid-run —
+   while the overload controller sheds at admission, expires stale
+   tickets at dequeue without an engine attempt, and browns out, so
+   goodput (answers within deadline per second) stays near the knee
+   value. *)
+let load cfg =
+  Bench_common.section
+    "ABL-LOAD: open-loop saturation sweep, overload controller vs bare queue";
+  let module Service = Jp_service in
+  let module Arrivals = Jp_workload.Arrivals in
+  let module Hist = Jp_metrics.Hist in
+  let r = Bench_common.dataset cfg Presets.Jokes in
+  let distinct = 8 in
+  let n = Relation.src_count r in
+  let subs =
+    Array.init distinct (fun d ->
+        let g = Jp_util.Rng.create (501 + (7919 * d)) in
+        let frac = 0.3 +. Jp_util.Rng.float g 0.4 in
+        let keep = Array.init n (fun _ -> Jp_util.Rng.float g 1.0 < frac) in
+        Relation.restrict_src r (fun a -> keep.(a)))
+  in
+  let count ?guard ?cancel i =
+    let sub = subs.(i mod distinct) in
+    Jp_relation.Pairs.count
+      (Joinproj.Two_path.project ?guard ?cancel ~r:sub ~s:sub ())
+  in
+  let expected = Array.init distinct (fun i -> count i) in
+  (* Knee estimate: the service's fault-free throughput ceiling. *)
+  let t0 =
+    let runs =
+      List.init 3 (fun i -> snd (Jp_util.Timer.time (fun () -> count i)))
+    in
+    List.nth (List.sort Float.compare runs) 1
+  in
+  let workers = max 1 (min 2 (Jp_parallel.Pool.available_cores ())) in
+  let knee = float_of_int workers /. t0 in
+  let deadline_s = 4.0 *. t0 in
+  (* Each swept rate runs for a fixed wall-clock window, not a fixed query
+     count: past the knee the point is the steady state (backlog pinned at
+     the deadline horizon, worker burning dead work), which a short burst
+     never reaches. *)
+  let duration_s = 0.8 in
+  let run_sweep ~ctl rate =
+    let nq = max 16 (int_of_float (rate *. duration_s)) in
+    let cfg_s =
+      {
+        Service.default with
+        Service.workers;
+        queue_capacity = 2 * nq;
+        default_deadline_s = Some deadline_s;
+        controller = (if ctl then Some Service.Overload.default else None);
+      }
+    in
+    let svc = Service.create cfg_s in
+    let schedule = Arrivals.schedule ~seed:7 ~rate ~count:nq () in
+    let tickets = Array.make nq None in
+    let start =
+      Arrivals.drive ~now:Jp_util.Timer.now ~sleep:Unix.sleepf ~schedule
+        (fun i ->
+          tickets.(i) <-
+            Some
+              (Service.submit svc ~key:i (fun ~cancel ~attempt:_ ~degraded ->
+                   let guard =
+                     if degraded then Some Jp_adaptive.Guard.safe else None
+                   in
+                   count ?guard ~cancel i)))
+    in
+    let reports =
+      Array.map (fun tk -> Service.await (Option.get tk)) tickets
+    in
+    let makespan = Jp_util.Timer.now () -. start in
+    Service.shutdown svc;
+    let ok = ref 0 and shed = ref 0 and expired = ref 0 in
+    let dead = ref 0 and other = ref 0 in
+    let e2e = Hist.create () in
+    Array.iteri
+      (fun i rep ->
+        match rep.Service.outcome with
+        | Ok c ->
+          if c <> expected.(i mod distinct) then begin
+            Printf.printf
+              "  ERROR: served answer disagrees with the unloaded engine \
+               (query %d: %d vs %d)\n%!"
+              i c expected.(i mod distinct);
+            if cfg.Bench_common.strict then exit 1
+          end;
+          incr ok;
+          Hist.observe e2e (rep.Service.queued_s +. rep.Service.ran_s)
+        | Error Service.Shed -> incr shed
+        | Error Service.Expired_in_queue -> incr expired
+        | Error Service.Deadline_exceeded -> incr dead
+        | Error _ -> incr other)
+      reports;
+    let goodput = if makespan > 0. then float_of_int !ok /. makespan else 0. in
+    let p99 =
+      if Hist.count e2e = 0 then "-"
+      else Tablefmt.seconds (Hist.quantile e2e 0.99)
+    in
+    (nq, !ok, !shed, !expired, !dead, !other, p99, goodput)
+  in
+  let multipliers = [ 0.5; 1.0; 2.0; 8.0 ] in
+  let results =
+    List.map
+      (fun m ->
+        let rate = m *. knee in
+        (m, rate, run_sweep ~ctl:false rate, run_sweep ~ctl:true rate))
+      multipliers
+  in
+  let rows =
+    List.concat_map
+      (fun (m, rate, off, on) ->
+        let row ctl (nq, ok, shed, expired, dead, other, p99, goodput) =
+          [
+            Printf.sprintf "%.2gx knee (%.1f/s)" m rate;
+            ctl;
+            string_of_int nq;
+            string_of_int ok;
+            string_of_int shed;
+            string_of_int expired;
+            string_of_int dead;
+            string_of_int other;
+            p99;
+            Printf.sprintf "%.1f/s" goodput;
+          ]
+        in
+        [ row "off" off; row "on" on ])
+      results
+  in
+  Tablefmt.print
+    ~header:
+      [ "arrival rate"; "ctl"; "sub"; "ok"; "shed"; "expired"; "deadline";
+        "other"; "p99"; "goodput" ]
+    ~rows;
+  let goodput_of (_, _, _, _, _, _, _, g) = g in
+  let _, _, off_hi, on_hi = List.nth results (List.length results - 1) in
+  Bench_common.note
+    "single query %s, knee ~%.1f/s (%d worker(s)), deadline %s"
+    (Tablefmt.seconds t0) knee workers
+    (Tablefmt.seconds deadline_s);
+  Bench_common.note
+    "targets: past the knee the controller keeps goodput near the knee";
+  Bench_common.note
+    "value (shed/expire/brownout instead of queueing to death) while the";
+  Bench_common.note
+    "bare queue collapses; below the knee the controller is within noise.";
+  if cfg.Bench_common.strict && goodput_of on_hi < goodput_of off_hi then begin
+    Printf.printf
+      "  ERROR: controller-on goodput %.1f/s < controller-off %.1f/s at the \
+       highest rate\n%!"
+      (goodput_of on_hi) (goodput_of off_hi);
+    exit 1
+  end
 
 let all cfg =
   dedup cfg;

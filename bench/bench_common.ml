@@ -101,7 +101,8 @@ let emit_record ?checksum ~label ~seconds ~runs counters =
     [ ("experiment", String !current_tag); ("label", String label);
       ("seconds", Float seconds);
       ("p50", Float (run_quantile 0.50 runs));
-      ("p95", Float (run_quantile 0.95 runs)) ]
+      ("p95", Float (run_quantile 0.95 runs));
+      ("p99", Float (run_quantile 0.99 runs)) ]
     @ (match checksum with Some c -> [ ("checksum", Int c) ] | None -> [])
     @ [ ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters));
         ("cache", cache_summary counters) ]

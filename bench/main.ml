@@ -32,6 +32,7 @@ let experiments =
     ("ABL-CACHE", Bench_ablation.semantic_cache);
     ("ABL-OBS", Bench_ablation.obs);
     ("ABL-CQ", Bench_ablation.cq);
+    ("ABL-LOAD", Bench_ablation.load);
   ]
 
 let () =

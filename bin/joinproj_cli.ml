@@ -752,7 +752,7 @@ let service_workload ~seed ~domains ~nq ~skew ~flavour r =
 
 let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
     ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~flavour
-    ~metrics_out ~trace_out =
+    ~open_loop ~rate ~sweep ~arrivals ~no_ctl ~metrics_out ~trace_out =
   let r = load_source name input scale seed in
   Jp_obs.reset ();
   Jp_metrics.reset ();
@@ -791,28 +791,155 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
       backoff_s = backoff_ms /. 1e3;
       default_deadline_s = Option.map (fun ms -> ms /. 1e3) deadline_ms;
       chaos;
+      controller =
+        (if open_loop && not no_ctl then Some Jp_service.Overload.default
+         else None);
     }
   in
-  let svc = Jp_service.create cfg in
-  let submit_one i =
+  let submit_one svc i =
     Jp_service.submit svc ~key:i ?cached:(binding_of i)
       (fun ~cancel ~attempt:_ ~degraded ->
         let guard = if degraded then Some Jp_adaptive.Guard.safe else None in
         count_of ?guard ~cancel ?cache i)
   in
+  let wrong = ref 0 in
+  if open_loop then begin
+    (* Open-loop: arrivals come from a fixed, seeded schedule that never
+       waits for the service — a rate past saturation piles up queueing
+       instead of stretching the client.  One fresh service (and fresh
+       controller state) per swept rate. *)
+    let rates =
+      match sweep with
+      | Some (lo, hi, steps) -> Jp_workload.Arrivals.sweep ~lo ~hi ~steps
+      | None -> [| rate |]
+    in
+    let header =
+      [ "rate"; "sub"; "ok"; "hit"; "shed"; "qfull"; "expired"; "deadline";
+        "cancel"; "fail"; "p50"; "p95"; "p99"; "goodput" ]
+    in
+    let module Hist = Jp_metrics.Hist in
+    let rows =
+      Array.to_list rates
+      |> List.map (fun rate ->
+             let svc = Jp_service.create cfg in
+             let schedule =
+               Jp_workload.Arrivals.schedule ~process:arrivals ~seed ~rate
+                 ~count:nq ()
+             in
+             let tickets = Array.make nq None in
+             let start =
+               Jp_workload.Arrivals.drive ~now:Jp_util.Timer.now
+                 ~sleep:Unix.sleepf ~schedule (fun i ->
+                   tickets.(i) <- Some (submit_one svc i))
+             in
+             let reports =
+               Array.map
+                 (fun tk -> Jp_service.await (Option.get tk))
+                 tickets
+             in
+             let makespan = Jp_util.Timer.now () -. start in
+             Jp_service.shutdown svc;
+             let tally = Hashtbl.create 8 in
+             let bump k =
+               Hashtbl.replace tally k
+                 (1 + Option.value ~default:0 (Hashtbl.find_opt tally k))
+             in
+             let e2e = Hist.create () in
+             let ok = ref 0 in
+             Array.iteri
+               (fun i rep ->
+                 match rep.Jp_service.outcome with
+                 | Ok c ->
+                   if c <> expected.(i) then incr wrong;
+                   incr ok;
+                   if rep.Jp_service.cache_hit then bump "hit";
+                   Hist.observe e2e
+                     (rep.Jp_service.queued_s +. rep.Jp_service.ran_s)
+                 | Error e -> bump (Jp_service.error_to_string e))
+               reports;
+             let n k =
+               string_of_int (Option.value ~default:0 (Hashtbl.find_opt tally k))
+             in
+             let cell q =
+               if Hist.count e2e = 0 then "-"
+               else Jp_util.Tablefmt.seconds (Hist.quantile e2e q)
+             in
+             (* Goodput counts answers produced within their deadline: an
+                Ok outcome already implies that when a deadline is armed
+                (expiry is a typed error), so it is simply Ok/s. *)
+             let goodput =
+               if makespan > 0. then float_of_int !ok /. makespan else 0.
+             in
+             [
+               Printf.sprintf "%.1f/s" rate;
+               string_of_int nq;
+               string_of_int !ok;
+               n "hit";
+               n "shed";
+               n "overloaded";
+               n "expired-in-queue";
+               n "deadline";
+               n "cancelled";
+               (let f = ref 0 in
+                Hashtbl.iter
+                  (fun k v ->
+                    if String.length k >= 6 && String.sub k 0 6 = "failed" then
+                      f := !f + v)
+                  tally;
+                string_of_int !f);
+               cell 0.50;
+               cell 0.95;
+               cell 0.99;
+               Printf.sprintf "%.1f/s" goodput;
+             ])
+    in
+    Printf.printf "open-loop %s arrivals, %d queries per rate, controller %s\n\n"
+      (Jp_workload.Arrivals.process_to_string arrivals)
+      nq
+      (if no_ctl then "off" else "on");
+    Jp_util.Tablefmt.print ~header ~rows;
+    print_newline ();
+    print_string (Jp_obs.render_counters ());
+    (match cache with
+    | None -> ()
+    | Some c -> Format.printf "\n%a@." Jp_cache.pp_stats (Jp_cache.stats c));
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+      write_text ~what:"OpenMetrics exposition" path (Jp_metrics.exposition ()));
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      write_text ~what:"Chrome trace" path (Jp_metrics.chrome_trace_string ()));
+    let spawned = Jp_obs.value Jp_obs.C.service_workers_spawned in
+    let joined = Jp_obs.value Jp_obs.C.service_workers_joined in
+    Jp_obs.disable ();
+    if !wrong > 0 then begin
+      Printf.eprintf
+        "joinproj: error: %d served queries returned wrong results\n" !wrong;
+      exit 1
+    end;
+    if spawned <> joined then begin
+      Printf.eprintf
+        "joinproj: error: leaked worker domains (%d spawned, %d joined)\n"
+        spawned joined;
+      exit 1
+    end
+  end
+  else begin
+  let svc = Jp_service.create cfg in
   let reports =
     if Option.is_none cache then
-      (* Historical open-loop client: everything is in flight at once
-         (this is what exercises admission control). *)
-      Array.map Jp_service.await (Array.init nq submit_one)
+      (* Fire-and-await client: everything is in flight at once (this is
+         what exercises admission control). *)
+      Array.map Jp_service.await (Array.init nq (submit_one svc))
     else
       (* Closed-loop when the cache is armed: a repeated query can only
          hit an entry once the earlier identical query has completed and
          published. *)
-      Array.init nq (fun i -> Jp_service.await (submit_one i))
+      Array.init nq (fun i -> Jp_service.await (submit_one svc i))
   in
   Jp_service.shutdown svc;
-  let wrong = ref 0 in
   let header =
     [ "q"; "engine"; "outcome"; "att"; "retry"; "deg"; "hit"; "out"; "expect";
       "ok"; "ran" ]
@@ -855,7 +982,8 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
      placement) is deterministic even though raw times vary. *)
   let module Hist = Jp_metrics.Hist in
   let outcome_keys =
-    [ "ok"; "ok (cache hit)"; "overloaded"; "deadline"; "cancelled"; "failed" ]
+    [ "ok"; "ok (cache hit)"; "overloaded"; "shed"; "expired"; "deadline";
+      "cancelled"; "failed" ]
   in
   let by_outcome = List.map (fun k -> (k, Hist.create ())) outcome_keys in
   let queued = Hist.create () and ran = Hist.create () in
@@ -865,14 +993,17 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
         match rep.Jp_service.outcome with
         | Ok _ -> if rep.Jp_service.cache_hit then "ok (cache hit)" else "ok"
         | Error Jp_service.Overloaded -> "overloaded"
+        | Error Jp_service.Shed -> "shed"
+        | Error Jp_service.Expired_in_queue -> "expired"
         | Error Jp_service.Deadline_exceeded -> "deadline"
         | Error Jp_service.Cancelled -> "cancelled"
         | Error (Jp_service.Failed _) -> "failed"
       in
       Hist.observe (List.assoc key by_outcome) rep.Jp_service.ran_s;
-      (* Rejected queries never entered the queue: they would only dilute
-         the latency distributions with zeros. *)
-      if key <> "overloaded" then begin
+      (* Queries refused at admission (queue full or shed) never entered
+         the queue: they would only dilute the latency distributions with
+         zeros. *)
+      if key <> "overloaded" && key <> "shed" then begin
         Hist.observe queued rep.Jp_service.queued_s;
         Hist.observe ran rep.Jp_service.ran_s
       end)
@@ -937,6 +1068,7 @@ let run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
       spawned joined;
     exit 1
   end
+  end
 
 (* Flags shared by serve and stress. *)
 let queries_n =
@@ -990,6 +1122,65 @@ let query_skew =
            Q/4 distinct sub-relations, so hot queries repeat.  0 keeps every \
            query distinct.")
 
+let open_loop_flag =
+  Arg.(
+    value & flag
+    & info [ "open-loop" ]
+        ~doc:
+          "Submit queries on a fixed, seeded arrival schedule instead of the \
+           fire-and-await client: arrivals never wait for the service, so a \
+           rate past saturation shows up as queueing (and overload-control \
+           behaviour), not as a slower client.  Arms the overload controller \
+           unless $(b,--no-overload-control).")
+
+let rate_arg =
+  Arg.(
+    value & opt float 50.0
+    & info [ "rate" ] ~docv:"QPS"
+        ~doc:"Open-loop arrival rate in queries per second.")
+
+let sweep_conv =
+  let parse s =
+    match Scanf.sscanf_opt s "%f:%f:%d%!" (fun lo hi n -> (lo, hi, n)) with
+    | Some (lo, hi, n) when lo > 0.0 && hi >= lo && n >= 1 -> Ok (lo, hi, n)
+    | _ -> Error (`Msg "expected LO:HI:STEPS with 0 < LO <= HI, STEPS >= 1")
+  in
+  let print ppf (lo, hi, n) = Format.fprintf ppf "%g:%g:%d" lo hi n in
+  Arg.conv (parse, print)
+
+let sweep_arg =
+  Arg.(
+    value
+    & opt (some sweep_conv) None
+    & info [ "sweep" ] ~docv:"LO:HI:STEPS"
+        ~doc:
+          "Saturation sweep: run the open-loop workload at STEPS arrival \
+           rates stepped geometrically from LO to HI queries/second \
+           (overrides $(b,--rate)).")
+
+let arrivals_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("fixed", Jp_workload.Arrivals.Fixed_rate);
+             ("poisson", Jp_workload.Arrivals.Poisson);
+           ])
+        Jp_workload.Arrivals.Fixed_rate
+    & info [ "arrivals" ] ~docv:"P"
+        ~doc:
+          "Open-loop arrival process: $(b,fixed) (query i arrives exactly at \
+           i/rate) or $(b,poisson) (seeded exponential interarrivals).")
+
+let no_ctl_flag =
+  Arg.(
+    value & flag
+    & info [ "no-overload-control" ]
+        ~doc:
+          "Disable the overload controller under $(b,--open-loop) (the \
+           collapse foil): admission falls back to the bare bounded queue.")
+
 let flavour_arg =
   Arg.(
     value
@@ -1012,10 +1203,11 @@ let flavour_arg =
 
 let serve_cmd =
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms cache_mb skew flavour metrics_out trace_out =
+      deadline_ms cache_mb skew flavour open_loop rate sweep arrivals no_ctl
+      metrics_out trace_out =
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
       ~retries ~backoff_ms ~deadline_ms ~chaos:None ~cache_mb ~skew ~flavour
-      ~metrics_out ~trace_out
+      ~open_loop ~rate ~sweep ~arrivals ~no_ctl ~metrics_out ~trace_out
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1024,11 +1216,14 @@ let serve_cmd =
           worker domains, deadlines) and verify every answer against direct \
           engine calls.  $(b,--cache-mb) arms the cross-query semantic cache; \
           $(b,--query-skew) makes the workload Zipf-repeated so it has \
-          something to hit.")
+          something to hit.  $(b,--open-loop) $(b,--rate) (or $(b,--sweep)) \
+          switches to a seeded arrival schedule with goodput and \
+          p50/p95/p99 reporting, with the overload controller armed.")
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
       $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
-      $ cache_mb_arg $ query_skew $ flavour_arg $ metrics_out_arg
+      $ cache_mb_arg $ query_skew $ flavour_arg $ open_loop_flag $ rate_arg
+      $ sweep_arg $ arrivals_arg $ no_ctl_flag $ metrics_out_arg
       $ trace_out_arg)
 
 let stress_cmd =
@@ -1059,8 +1254,8 @@ let stress_cmd =
       & info [ "slow-ms" ] ~docv:"MS" ~doc:"Length of injected slowdowns.")
   in
   let run name input scale seed domains nq workers queue_cap retries backoff_ms
-      deadline_ms cache_mb skew flavour metrics_out trace_out chaos_seed
-      p_transient p_kill p_slow slow_ms =
+      deadline_ms cache_mb skew flavour open_loop rate sweep arrivals no_ctl
+      metrics_out trace_out chaos_seed p_transient p_kill p_slow slow_ms =
     let chaos =
       Some
         {
@@ -1074,7 +1269,7 @@ let stress_cmd =
     in
     run_service ~name ~input ~scale ~seed ~domains ~nq ~workers ~queue_cap
       ~retries ~backoff_ms ~deadline_ms ~chaos ~cache_mb ~skew ~flavour
-      ~metrics_out ~trace_out
+      ~open_loop ~rate ~sweep ~arrivals ~no_ctl ~metrics_out ~trace_out
   in
   Cmd.v
     (Cmd.info "stress"
@@ -1087,7 +1282,8 @@ let stress_cmd =
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ queries_n
       $ workers_arg $ queue_cap $ retries_arg $ backoff_ms $ deadline_ms
-      $ cache_mb_arg $ query_skew $ flavour_arg $ metrics_out_arg
+      $ cache_mb_arg $ query_skew $ flavour_arg $ open_loop_flag $ rate_arg
+      $ sweep_arg $ arrivals_arg $ no_ctl_flag $ metrics_out_arg
       $ trace_out_arg $ chaos_seed $ p_transient $ p_kill $ p_slow $ slow_ms)
 
 let calibrate_cmd =

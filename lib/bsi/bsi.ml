@@ -122,6 +122,10 @@ type stats = {
 let simulate_impl ~domains ~strategy ~guard ~cancel ~cache ~r ~s ~queries
     ~rate ~batch_size =
   let n = Array.length queries in
+  (* Arrival offsets come from the repo's one open-loop generator
+     (fixed-rate: query i arrives exactly at i/rate, the schedule the
+     delay model below assumes). *)
+  let arrivals = Jp_workload.Arrivals.schedule ~rate ~count:n () in
   let batches = (n + batch_size - 1) / batch_size in
   let total_delay = ref 0.0 and max_delay = ref 0.0 and total_proc = ref 0.0 in
   for j = 0 to batches - 1 do
@@ -135,10 +139,9 @@ let simulate_impl ~domains ~strategy ~guard ~cancel ~cache ~r ~s ~queries
     ignore answers;
     total_proc := !total_proc +. proc;
     (* the batch dispatches when its last query has arrived *)
-    let dispatch = float_of_int (hi - 1) /. rate in
+    let dispatch = arrivals.(hi - 1) in
     for i = lo to hi - 1 do
-      let arrival = float_of_int i /. rate in
-      let delay = dispatch -. arrival +. proc in
+      let delay = dispatch -. arrivals.(i) +. proc in
       total_delay := !total_delay +. delay;
       if delay > !max_delay then max_delay := delay
     done

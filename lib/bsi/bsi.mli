@@ -80,7 +80,9 @@ val simulate :
   batch_size:int ->
   unit ->
   stats
-(** Replays [queries] arriving at [rate] per second, dispatching every
-    [batch_size] of them to {!answer_batch} (whose real wall-clock time is
-    measured), with no queueing between batches (the paper provisions
-    enough parallel units; {!stats.units_needed} reports how many). *)
+(** Replays [queries] arriving at [rate] per second (a
+    {!Jp_workload.Arrivals.Fixed_rate} schedule — the same generator the
+    open-loop serving harness uses), dispatching every [batch_size] of
+    them to {!answer_batch} (whose real wall-clock time is measured),
+    with no queueing between batches (the paper provisions enough
+    parallel units; {!stats.units_needed} reports how many). *)

@@ -242,6 +242,10 @@ module G = struct
   let inflight = gauge "service.inflight"
 
   let cache_bytes = gauge "cache.resident_bytes"
+
+  let brownout = gauge "service.brownout"
+
+  let est_wait_us = gauge "service.est_wait_us"
 end
 
 (* ------------------------------------------------------------------ *)

@@ -164,6 +164,14 @@ module G : sig
   (** Resident {!Jp_cache} footprint in bytes (sum across caches),
       mirroring the [cache.bytes] counter so snapshots sample it over
       time.  Registered as ["cache.resident_bytes"]. *)
+
+  val brownout : gauge
+  (** 1 while the {!Jp_service.Overload} controller is in brownout
+      (degraded plans forced), 0 otherwise. *)
+
+  val est_wait_us : gauge
+  (** The overload controller's most recent queue-wait estimate, in
+      microseconds (gauges are ints), refreshed once per admission. *)
 end
 
 (** {1 Export} *)

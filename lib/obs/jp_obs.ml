@@ -90,6 +90,21 @@ module C = struct
 
   let service_workers_joined = counter "service.workers_joined"
 
+  (* Overload controller (Jp_service.Overload): shed splits off from
+     rejected (queue full) at admission, expired_in_queue from deadline
+     (queries killed at dequeue, zero attempts); brownout transitions and
+     the queries served degraded under it are counted separately so the
+     ladder is auditable from the exposition alone. *)
+  let service_shed = counter "service.shed"
+
+  let service_expired = counter "service.expired_in_queue"
+
+  let service_brownout_entered = counter "service.brownout_entered"
+
+  let service_brownout_exited = counter "service.brownout_exited"
+
+  let service_brownout_served = counter "service.brownout_served"
+
   (* Chaos injection (Jp_chaos), one bump per fault actually delivered. *)
   let chaos_transients = counter "chaos.transients"
 

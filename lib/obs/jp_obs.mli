@@ -155,6 +155,25 @@ module C : sig
   val service_degraded : counter
   (** Final attempts forced onto the safe non-matrix path. *)
 
+  val service_shed : counter
+  (** Queries refused at admission by the overload controller: estimated
+      queue wait exceeded the query's deadline.  Disjoint from
+      {!service_rejected} (queue full). *)
+
+  val service_expired : counter
+  (** Still-queued queries failed fast at dequeue because their deadline
+      had already passed — zero engine attempts.  Counted separately from
+      {!service_deadline} (which covers queries that started running). *)
+
+  val service_brownout_entered : counter
+  (** Overload-controller brownout transitions (off → on). *)
+
+  val service_brownout_exited : counter
+  (** Overload-controller brownout transitions (on → off). *)
+
+  val service_brownout_served : counter
+  (** Queries forced onto the degraded safe path by an active brownout. *)
+
   val service_workers_spawned : counter
   (** Service worker domains spawned; must equal {!service_workers_joined}
       after shutdown (the leak check in the service tests). *)

@@ -4,15 +4,20 @@ module Timer = Jp_util.Timer
 module C = Jp_obs.C
 module Json = Jp_obs.Json
 module Metrics = Jp_metrics
+module Overload = Overload
 
 type error =
   | Overloaded
+  | Shed
+  | Expired_in_queue
   | Deadline_exceeded
   | Cancelled
   | Failed of string
 
 let error_to_string = function
   | Overloaded -> "overloaded"
+  | Shed -> "shed"
+  | Expired_in_queue -> "expired-in-queue"
   | Deadline_exceeded -> "deadline"
   | Cancelled -> "cancelled"
   | Failed msg -> "failed: " ^ msg
@@ -24,6 +29,7 @@ type config = {
   backoff_s : float;
   default_deadline_s : float option;
   chaos : Jp_chaos.config option;
+  controller : Overload.config option;
 }
 
 let default =
@@ -34,6 +40,7 @@ let default =
     backoff_s = 0.005;
     default_deadline_s = None;
     chaos = None;
+    controller = None;
   }
 
 type 'a report = {
@@ -73,9 +80,15 @@ let cancel tk = Cancel.cancel tk.tcancel
 
 (* A queued job erases the ticket's result type: [exec] runs the query
    on a worker domain, [abort] resolves the ticket as cancelled when the
-   service shuts down before the job was picked up.  Exactly one of the
-   two ever runs. *)
-type job = { exec : unit -> unit; abort : unit -> unit }
+   service shuts down before the job was picked up, and [expire] fails it
+   fast when the overload controller sees its deadline already passed at
+   dequeue (zero engine attempts).  Exactly one of the three ever runs. *)
+type job = {
+  exec : unit -> unit;
+  abort : unit -> unit;
+  expire : unit -> unit;
+  expires_at : float option; (* absolute deadline, for the dequeue check *)
+}
 
 type t = {
   cfg : config;
@@ -83,6 +96,7 @@ type t = {
   nonempty : Condition.t;
   queue : job Queue.t;
   next_trace : int Atomic.t; (* per-service trace ids, in submission order *)
+  ctl : Overload.t option;
   mutable stopping : bool;
   mutable domains : unit Domain.t list;
 }
@@ -104,7 +118,12 @@ let worker_loop t =
       Mutex.unlock t.lock;
       Metrics.set_gauge Metrics.G.queue_depth depth;
       Metrics.add_gauge Metrics.G.inflight 1;
-      job.exec ();
+      (* Dequeue-time expiry is a controller behaviour: without one the
+         query still reaches run_query, whose entry checkpoint reports
+         Deadline_exceeded exactly as before. *)
+      (match (t.ctl, job.expires_at) with
+      | Some _, Some e when Timer.now () > e -> job.expire ()
+      | _ -> job.exec ());
       Metrics.add_gauge Metrics.G.inflight (-1)
     end
   done
@@ -120,6 +139,7 @@ let create cfg =
       nonempty = Condition.create ();
       queue = Queue.create ();
       next_trace = Atomic.make 0;
+      ctl = Option.map Overload.create cfg.controller;
       stopping = false;
       domains = [];
     }
@@ -131,6 +151,8 @@ let create cfg =
 let outcome_string = function
   | Ok _ -> "ok"
   | Error Overloaded -> "overloaded"
+  | Error Shed -> "shed"
+  | Error Expired_in_queue -> "expired"
   | Error Deadline_exceeded -> "deadline"
   | Error Cancelled -> "cancelled"
   | Error (Failed _) -> "failed"
@@ -139,11 +161,15 @@ let outcome_string = function
    backoff on injected transients, then a final degraded attempt.  Every
    exception is mapped to a typed error — nothing escapes to the worker
    loop. *)
-let run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~work tk =
+let run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~brownout ~work tk =
   let started = Timer.now () in
   let attempts = ref 0 in
   let retries = ref 0 in
-  let degraded = ref false in
+  (* Under brownout every attempt runs degraded — the safe combinatorial
+     plan, same ladder as the post-retry degradation below — and the
+     publish gate further down then keeps the result out of the cache. *)
+  let degraded = ref brownout in
+  if brownout then Jp_obs.incr C.service_brownout_served;
   let run_attempt ~degraded:d =
     let attempt = !attempts in
     incr attempts;
@@ -168,13 +194,18 @@ let run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~work tk =
          long dies here without burning a single engine cycle. *)
       Cancel.check cancel;
       let rec go n =
-        match run_attempt ~degraded:false with
+        match run_attempt ~degraded:brownout with
         | v -> Ok v
         | exception Jp_chaos.Injected _ when n < t.cfg.max_retries ->
           incr retries;
           Jp_obs.incr C.service_retries;
           Unix.sleepf (t.cfg.backoff_s *. (2.0 ** float_of_int n));
           go (n + 1)
+        | exception Jp_chaos.Injected f when brownout ->
+          (* Already on the safe path: there is no further rung. *)
+          incr retries;
+          Jp_obs.incr C.service_retries;
+          Error (Failed ("persistent fault: " ^ Jp_chaos.fault_to_string f))
         | exception Jp_chaos.Injected _ -> begin
           incr retries;
           Jp_obs.incr C.service_retries;
@@ -197,7 +228,7 @@ let run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~work tk =
   | Error Deadline_exceeded -> Jp_obs.incr C.service_deadline
   | Error Cancelled -> Jp_obs.incr C.service_cancelled
   | Error (Failed _) -> Jp_obs.incr C.service_failed
-  | Error Overloaded -> ());
+  | Error (Overloaded | Shed | Expired_in_queue) -> ());
   (* Publish-after-verify, and only a clean success: a cancelled, faulted
      or degraded attempt never reaches the cache.  [binding_publish] runs
      the binding's verifier before the entry becomes resident. *)
@@ -211,6 +242,11 @@ let run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~work tk =
      observations, one outcome marker, one gauge snapshot. *)
   Metrics.observe Metrics.H.service_queued_seconds queued_s;
   Metrics.observe Metrics.H.service_ran_seconds ran_s;
+  (* Feed the overload estimator whatever the outcome: a deadline kill is
+     as much evidence about service times as a success. *)
+  (match t.ctl with
+  | Some c -> Overload.note_executed c ~queued_s ~ran_s
+  | None -> ());
   Jp_obs.instant "service.outcome"
     ~args:
       [
@@ -238,6 +274,8 @@ let base_report =
     cache_hit = false; queued_s = 0.0; ran_s = 0.0; trace_id = 0 }
 
 let rejected_report ~trace_id = { base_report with trace_id }
+
+let shed_report ~trace_id = { base_report with outcome = Error Shed; trace_id }
 
 let aborted_report ~trace_id =
   { base_report with outcome = Error Cancelled; trace_id }
@@ -269,19 +307,59 @@ let submit t ?(key = 0) ?deadline_s ?cached work =
       tcancel = cancel }
   in
   let submitted_at = Timer.now () in
+  (* The brownout flag is decided at admission (under t.lock, before the
+     job becomes visible to workers) but lives in the closure's state. *)
+  let brownout = ref false in
+  let exec_impl () =
+    Jp_obs.span "service.query" ~args:[ ("trace_id", Json.Int trace_id) ]
+      (fun () ->
+        run_query t ~key ~trace_id ~cancel ~submitted_at ~cached
+          ~brownout:!brownout ~work tk)
+  in
+  let expire_impl () =
+    (* A client cancellation that raced the expiry keeps its meaning: let
+       run_query's entry checkpoint report Cancelled as usual. *)
+    if Cancel.reason cancel = Some Cancel.Requested then exec_impl ()
+    else begin
+      let queued_s = Timer.now () -. submitted_at in
+      Jp_obs.incr C.service_expired;
+      Metrics.observe Metrics.H.service_queued_seconds queued_s;
+      (match t.ctl with
+      | Some c -> Overload.note_expired c ~queued_s
+      | None -> ());
+      Jp_obs.instant "service.expired"
+        ~args:[ ("trace_id", Json.Int trace_id) ];
+      resolve tk
+        { base_report with outcome = Error Expired_in_queue; queued_s; trace_id }
+    end
+  in
   let job =
     {
-      exec =
-        (fun () ->
-          Jp_obs.span "service.query" ~args:[ ("trace_id", Json.Int trace_id) ]
-            (fun () ->
-              run_query t ~key ~trace_id ~cancel ~submitted_at ~cached ~work tk));
+      exec = exec_impl;
       abort = (fun () -> resolve tk (aborted_report ~trace_id));
+      expire = expire_impl;
+      expires_at = Option.map (fun d -> submitted_at +. d) deadline_s;
     }
   in
   Mutex.lock t.lock;
+  (* One controller assessment per admission — never per tuple.  Nested
+     ctl lock under t.lock is safe: workers take the ctl lock without
+     holding t.lock, never the reverse order. *)
+  let verdict =
+    match t.ctl with
+    | Some c ->
+      Some
+        (Overload.assess c ~queued:(Queue.length t.queue)
+           ~workers:t.cfg.workers ~deadline_s)
+    | None -> None
+  in
+  let shed = match verdict with Some v -> v.Overload.shed | None -> false in
+  (match verdict with
+  | Some v -> brownout := v.Overload.brownout
+  | None -> ());
   let accepted =
-    (not t.stopping) && Queue.length t.queue < t.cfg.queue_capacity
+    (not shed) && (not t.stopping)
+    && Queue.length t.queue < t.cfg.queue_capacity
   in
   if accepted then begin
     Queue.push job t.queue;
@@ -290,7 +368,27 @@ let submit t ?(key = 0) ?deadline_s ?cached work =
   let depth = Queue.length t.queue in
   Mutex.unlock t.lock;
   Metrics.set_gauge Metrics.G.queue_depth depth;
-  if accepted then Jp_obs.incr C.service_accepted
+  (match verdict with
+  | Some v ->
+    Metrics.set_gauge Metrics.G.est_wait_us
+      (int_of_float (v.Overload.est_wait_s *. 1e6));
+    if v.Overload.entered then begin
+      Jp_obs.incr C.service_brownout_entered;
+      Metrics.set_gauge Metrics.G.brownout 1;
+      Jp_obs.instant "service.brownout" ~args:[ ("on", Json.Bool true) ]
+    end;
+    if v.Overload.exited then begin
+      Jp_obs.incr C.service_brownout_exited;
+      Metrics.set_gauge Metrics.G.brownout 0;
+      Jp_obs.instant "service.brownout" ~args:[ ("on", Json.Bool false) ]
+    end
+  | None -> ());
+  if shed then begin
+    Jp_obs.incr C.service_shed;
+    Jp_obs.instant "service.shed" ~args:[ ("trace_id", Json.Int trace_id) ];
+    resolve tk (shed_report ~trace_id)
+  end
+  else if accepted then Jp_obs.incr C.service_accepted
   else begin
     Jp_obs.incr C.service_rejected;
     Jp_obs.instant "service.rejected" ~args:[ ("trace_id", Json.Int trace_id) ];

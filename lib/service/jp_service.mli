@@ -21,6 +21,16 @@
       exactly the fault-free result or a typed {!error} — never a
       wrong answer.
 
+    - {b Overload control} (opt-in via {!type:config}[.controller]):
+      under saturating open-loop traffic the bounded queue alone fills
+      with work that expires before a worker reaches it.  The
+      {!Overload} controller sheds at admission when the estimated
+      queue wait exceeds the query's deadline ({!Shed}), fails
+      still-queued tickets fast at dequeue once their deadline has
+      passed ({!Expired_in_queue}, zero attempts), and under sustained
+      overload browns out: every attempt runs the degraded safe plan
+      (which also keeps results out of the cache).  Controller absent ⇒
+      byte-identical paths.
     - {b Caching}: a query submitted with a {!Jp_cache.binding} consults
       the cache {e before} dispatch — a hit resolves immediately, with no
       queue slot or worker attempt — and publishes its result after
@@ -39,8 +49,18 @@
 
 module Cancel = Jp_util.Cancel
 
+(** The overload controller (shed / brownout / dequeue expiry); armed by
+    {!type:config}[.controller].  See {!Overload} for the policy. *)
+module Overload = Overload
+
 type error =
   | Overloaded  (** rejected at admission: queue full or shutting down *)
+  | Shed
+      (** rejected at admission by the overload controller: the estimated
+          queue wait already exceeded this query's deadline *)
+  | Expired_in_queue
+      (** failed fast at dequeue: the deadline passed while queued, so no
+          engine attempt ran ([attempts = 0]; controller only) *)
   | Deadline_exceeded  (** the query's deadline passed before it finished *)
   | Cancelled  (** client cancelled (or the service shut down under it) *)
   | Failed of string  (** retries and degradation both exhausted *)
@@ -55,11 +75,15 @@ type config = {
   default_deadline_s : float option;
       (** deadline for queries submitted without one *)
   chaos : Jp_chaos.config option;  (** arm fault injection on every attempt *)
+  controller : Overload.config option;
+      (** arm the overload controller.  [None] (the default) leaves every
+          path byte-identical to the uncontrolled service: no {!Shed} or
+          {!Expired_in_queue} outcomes, no estimator, no brownout. *)
 }
 
 val default : config
 (** 1 worker, capacity 16, 2 retries, 5 ms base backoff, no default
-    deadline, no chaos. *)
+    deadline, no chaos, no overload controller. *)
 
 type 'a report = {
   outcome : ('a, error) result;

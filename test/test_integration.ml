@@ -222,6 +222,59 @@ let test_served_two_path_agrees () =
             ])
         Presets.all)
 
+(* Open-loop served row: traffic arrives from a seeded schedule faster
+   than it is answered, with the overload controller armed and a real
+   deadline, so any mix of Ok / Shed / Expired_in_queue / Deadline can
+   come back depending on machine speed.  The contract is load-
+   independent: every Ok must be byte-identical to the unloaded engine,
+   and everything else must be one of the typed load-control errors. *)
+let test_open_loop_served_agrees () =
+  let cfg =
+    { Jp_service.default with
+      Jp_service.queue_capacity = 64;
+      Jp_service.controller = Some Jp_service.Overload.default }
+  in
+  List.iter
+    (fun name ->
+      let r = small name in
+      let ds = Presets.to_string name in
+      let reference = Joinproj.Two_path.project ~r ~s:r () in
+      let svc = Jp_service.create cfg in
+      Fun.protect
+        ~finally:(fun () -> Jp_service.shutdown svc)
+        (fun () ->
+          let nq = 12 in
+          let schedule = Jp_workload.Arrivals.schedule ~rate:300.0 ~count:nq () in
+          let tickets = Array.make nq None in
+          ignore
+            (Jp_workload.Arrivals.drive ~now:Jp_util.Timer.now ~sleep:Unix.sleepf
+               ~schedule (fun i ->
+                 tickets.(i) <-
+                   Some
+                     (Jp_service.submit svc ~deadline_s:0.25
+                        (fun ~cancel ~attempt:_ ~degraded ->
+                          let guard =
+                            if degraded then Some Jp_adaptive.Guard.safe else None
+                          in
+                          Joinproj.Two_path.project ?guard ~cancel ~r ~s:r ()))));
+          Array.iteri
+            (fun i tko ->
+              match (Jp_service.await (Option.get tko)).Jp_service.outcome with
+              | Ok pairs ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "open-loop served on %s, query %d" ds i)
+                  true
+                  (Pairs.equal reference pairs)
+              | Error
+                  ( Jp_service.Shed | Jp_service.Expired_in_queue
+                  | Jp_service.Deadline_exceeded | Jp_service.Overloaded ) ->
+                ()
+              | Error e ->
+                Alcotest.failf "open-loop served on %s, query %d: %s" ds i
+                  (Jp_service.error_to_string e))
+            tickets))
+    [ Presets.Jokes; Presets.Dblp ]
+
 (* Cached variants join the matrix: every engine runs twice through one
    shared Jp_cache (the first pass fills it, the second hits), and both
    passes must return exactly the uncached reference.  One cache instance
@@ -387,6 +440,7 @@ let suite =
     Alcotest.test_case "guarded scj agrees" `Quick test_guarded_scj_agrees;
     Alcotest.test_case "guarded bsi agrees" `Quick test_guarded_bsi_agrees;
     Alcotest.test_case "served two-path agrees" `Quick test_served_two_path_agrees;
+    Alcotest.test_case "open-loop served agrees" `Quick test_open_loop_served_agrees;
     Alcotest.test_case "cached engines agree" `Quick test_cached_engines_agree;
     Alcotest.test_case "cq engine = brute force" `Quick test_cq_engine_agrees_with_brute;
     Alcotest.test_case "guarded cq agrees" `Quick test_guarded_cq_agrees;

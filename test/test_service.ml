@@ -10,6 +10,8 @@ module Guard = Jp_adaptive.Guard
 module Relation = Jp_relation.Relation
 module Pairs = Jp_relation.Pairs
 module Presets = Jp_workload.Presets
+module Overload = Jp_service.Overload
+module Arrivals = Jp_workload.Arrivals
 
 let small name = Presets.load ~scale:0.02 ~seed:7 name
 
@@ -364,12 +366,14 @@ let test_chaos_workload_properties () =
           Alcotest.(check int)
             (Printf.sprintf "seed %d: admissions balance" seed)
             (v Jp_obs.C.service_submitted)
-            (v Jp_obs.C.service_accepted + v Jp_obs.C.service_rejected);
+            (v Jp_obs.C.service_accepted + v Jp_obs.C.service_rejected
+            + v Jp_obs.C.service_shed);
           Alcotest.(check int)
             (Printf.sprintf "seed %d: resolutions balance" seed)
             (v Jp_obs.C.service_accepted)
             (v Jp_obs.C.service_completed + v Jp_obs.C.service_failed
-            + v Jp_obs.C.service_deadline + v Jp_obs.C.service_cancelled);
+            + v Jp_obs.C.service_deadline + v Jp_obs.C.service_expired
+            + v Jp_obs.C.service_cancelled);
           Alcotest.(check int)
             (Printf.sprintf "seed %d: no leaked domains" seed)
             (v Jp_obs.C.service_workers_spawned)
@@ -380,6 +384,8 @@ let shape rep =
   ( (match rep.Service.outcome with
     | Ok n -> `Ok n
     | Error Service.Overloaded -> `Overloaded
+    | Error Service.Shed -> `Shed
+    | Error Service.Expired_in_queue -> `Expired
     | Error Service.Deadline_exceeded -> `Deadline
     | Error Service.Cancelled -> `Cancelled
     | Error (Service.Failed m) -> `Failed m),
@@ -447,6 +453,208 @@ let test_chaos_workload_deterministic () =
   let c = List.map shape (run_chaos_workload ~seed:4 ~nq:12 r) in
   Alcotest.(check bool) "different seed, different faults" true (a <> c)
 
+(* ------------------------------------------------------------------ *)
+(* Overload controller: estimator + hysteresis units.  The controller   *)
+(* is clock-free, so these drive it directly with hand-fed durations    *)
+(* and queue depths — fully deterministic.                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_overload_estimator () =
+  let c = Overload.create { Overload.default with Overload.ewma_alpha = 0.5 } in
+  Alcotest.(check (float 0.)) "ewma starts at 0" 0.0 (Overload.est_exec_s c);
+  Overload.note_executed c ~queued_s:0.0 ~ran_s:0.1;
+  Alcotest.(check (float 1e-9)) "first sample seeds the ewma" 0.1
+    (Overload.est_exec_s c);
+  Overload.note_executed c ~queued_s:0.0 ~ran_s:0.3;
+  Alcotest.(check (float 1e-9)) "alpha blend" 0.2 (Overload.est_exec_s c);
+  (* backlog model: wait = ewma * queued / workers *)
+  let v = Overload.assess c ~queued:4 ~workers:2 ~deadline_s:(Some 10.0) in
+  Alcotest.(check (float 1e-9)) "backlog estimate" 0.4 v.Overload.est_wait_s;
+  Alcotest.(check bool) "far from the deadline: admit" false v.Overload.shed
+
+let test_overload_empty_queue_recovers () =
+  let c = Overload.create Overload.default in
+  (* a burst of terrible observed waits... *)
+  for _ = 1 to 10 do
+    Overload.note_executed c ~queued_s:5.0 ~ran_s:0.001
+  done;
+  (* ...sheds while the queue is deep *)
+  let deep = Overload.assess c ~queued:8 ~workers:1 ~deadline_s:(Some 0.5) in
+  Alcotest.(check bool) "deep queue sheds" true deep.Overload.shed;
+  (* but once the queue drains the next query can start immediately: the
+     stale observed waits must not keep the shedder latched shut *)
+  let empty = Overload.assess c ~queued:0 ~workers:1 ~deadline_s:(Some 0.5) in
+  Alcotest.(check (float 1e-9)) "empty queue: zero wait estimate" 0.0
+    empty.Overload.est_wait_s;
+  Alcotest.(check bool) "empty queue admits" false empty.Overload.shed
+
+let test_overload_hysteresis () =
+  let cfg =
+    { Overload.default with Overload.enter_after = 3; Overload.exit_after = 2 }
+  in
+  let c = Overload.create cfg in
+  Overload.note_executed c ~queued_s:0.0 ~ran_s:0.1;
+  (* hot: est completion 0.1*50 + 0.1 = 5.1 over a 1s deadline; cool:
+     empty queue leaves just one ewma execution, well under exit*d *)
+  let hot () = Overload.assess c ~queued:50 ~workers:1 ~deadline_s:(Some 1.0) in
+  let cool () = Overload.assess c ~queued:0 ~workers:1 ~deadline_s:(Some 1.0) in
+  let v1 = hot () in
+  Alcotest.(check bool) "one hot admission: not in yet" false v1.Overload.brownout;
+  ignore (cool ());
+  ignore (hot ());
+  let v3 = hot () in
+  Alcotest.(check bool) "cool admission reset the streak" false v3.Overload.brownout;
+  let v4 = hot () in
+  Alcotest.(check bool) "third consecutive hot enters" true v4.Overload.brownout;
+  Alcotest.(check bool) "entered edge reported once" true v4.Overload.entered;
+  Alcotest.(check bool) "in_brownout agrees" true (Overload.in_brownout c);
+  let v5 = cool () in
+  Alcotest.(check bool) "one cool admission: still in" true v5.Overload.brownout;
+  let v6 = cool () in
+  Alcotest.(check bool) "second consecutive cool exits" false v6.Overload.brownout;
+  Alcotest.(check bool) "exited edge reported once" true v6.Overload.exited;
+  (* deadline-free admissions have nothing to protect: report-only *)
+  let v7 = Overload.assess c ~queued:50 ~workers:1 ~deadline_s:None in
+  Alcotest.(check bool) "no deadline never sheds" false v7.Overload.shed
+
+(* ------------------------------------------------------------------ *)
+(* Overload behaviours through the service itself                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_shed_at_admission () =
+  let cfg = { Service.default with Service.controller = Some Overload.default } in
+  with_service cfg (fun svc ->
+      (* prime the execution-time EWMA with a deliberately slow query *)
+      let slow =
+        Service.submit svc (fun ~cancel:_ ~attempt:_ ~degraded:_ ->
+            Unix.sleepf 0.03;
+            0)
+      in
+      ignore (Service.await slow);
+      (* a generous deadline is untouched *)
+      let ok =
+        Service.submit svc ~deadline_s:10.0 (fun ~cancel:_ ~attempt:_ ~degraded:_ -> 1)
+      in
+      Alcotest.(check bool) "generous deadline served" true
+        ((Service.await ok).Service.outcome = Ok 1);
+      (* a deadline below one expected execution cannot be met even on an
+         idle service: shed at admission, zero engine attempts *)
+      let tk =
+        Service.submit svc ~deadline_s:0.002 (fun ~cancel:_ ~attempt:_ ~degraded:_ -> 2)
+      in
+      let rep = Service.await tk in
+      check_error "estimated completion past deadline" Service.Shed rep.Service.outcome;
+      Alcotest.(check int) "shedding burns no attempts" 0 rep.Service.attempts)
+
+let test_expired_in_queue () =
+  let gate = Atomic.make false in
+  let started = Atomic.make false in
+  let cfg = { Service.default with Service.controller = Some Overload.default } in
+  with_service cfg (fun svc ->
+      let blocker =
+        Service.submit svc (fun ~cancel:_ ~attempt:_ ~degraded:_ ->
+            Atomic.set started true;
+            while not (Atomic.get gate) do
+              Unix.sleepf 0.0002
+            done;
+            0)
+      in
+      wait_for started;
+      (* queued behind the blocker with a deadline shorter than the block:
+         the worker must find it already dead at dequeue and not run it
+         (the EWMA is still unprimed here, so admission lets it through) *)
+      let tk =
+        Service.submit svc ~deadline_s:0.005 (fun ~cancel:_ ~attempt:_ ~degraded:_ -> 1)
+      in
+      Unix.sleepf 0.02;
+      Atomic.set gate true;
+      Alcotest.(check bool) "blocker completes" true
+        ((Service.await blocker).Service.outcome = Ok 0);
+      let rep = Service.await tk in
+      check_error "dead at dequeue" Service.Expired_in_queue rep.Service.outcome;
+      Alcotest.(check int) "zero engine attempts" 0 rep.Service.attempts;
+      Alcotest.(check bool) "measured its queue wait" true (rep.Service.queued_s > 0.0))
+
+let svc_int_tag : int Jp_cache.tag = Jp_cache.tag "test.service.int"
+
+let test_brownout_degrades_no_publish () =
+  let r = small Presets.Jokes in
+  let direct = count_query r ~cancel:(Cancel.create ()) ~degraded:false in
+  let ctl =
+    { Overload.default with Overload.enter_after = 1; Overload.shed_margin = 4.0 }
+  in
+  let cfg = { Service.default with Service.controller = Some ctl } in
+  let cache = Jp_cache.create () in
+  let binding =
+    Jp_cache.binding cache svc_int_tag
+      (Jp_cache.Key.of_relations ~kind:"test.brownout" [ r ])
+      ~bytes_of:(fun _ -> 16)
+      ()
+  in
+  with_recording (fun () ->
+      with_service cfg (fun svc ->
+          let slow =
+            Service.submit svc (fun ~cancel:_ ~attempt:_ ~degraded:_ ->
+                Unix.sleepf 0.1;
+                0)
+          in
+          ignore (Service.await slow);
+          (* one expected execution (~100ms) lands between brownout_enter
+             and shed_margin of a 150ms deadline: hot enough to enter
+             brownout on this single admission (enter_after = 1), cheap
+             enough to admit rather than shed *)
+          let tk =
+            Service.submit svc ~deadline_s:0.15 ~cached:binding
+              (fun ~cancel ~attempt:_ ~degraded -> count_query r ~cancel ~degraded)
+          in
+          let rep = Service.await tk in
+          (match rep.Service.outcome with
+          | Ok n -> Alcotest.(check int) "browned-out answer correct" direct n
+          | Error e ->
+            Alcotest.failf "brownout query failed: %s" (Service.error_to_string e));
+          Alcotest.(check bool) "served on the degraded path" true rep.Service.degraded;
+          Alcotest.(check bool) "degraded result never published" true
+            (Jp_cache.binding_find binding = None);
+          Alcotest.(check bool) "brownout entry counted" true
+            (Jp_obs.value Jp_obs.C.service_brownout_entered >= 1);
+          Alcotest.(check bool) "brownout service counted" true
+            (Jp_obs.value Jp_obs.C.service_brownout_served >= 1)))
+
+(* Open-loop + chaos: without deadlines nothing in the run depends on the
+   wall clock (no shed, no expiry, report-only controller), so the full
+   outcome-shape sequence must be a pure function of the seeds even
+   though arrivals pace themselves against real time. *)
+let test_open_loop_deterministic () =
+  let r = small Presets.Jokes in
+  let nq = 24 in
+  let run () =
+    let ccfg = { (Chaos.default 6) with Chaos.p_transient = 0.4 } in
+    let cfg =
+      { Service.default with
+        Service.chaos = Some ccfg;
+        Service.backoff_s = 0.0002;
+        Service.queue_capacity = 2 * nq;
+        Service.controller = Some Overload.default }
+    in
+    with_service cfg (fun svc ->
+        let schedule =
+          Arrivals.schedule ~process:Arrivals.Poisson ~seed:5 ~rate:400.0 ~count:nq ()
+        in
+        let tickets = Array.make nq None in
+        ignore
+          (Arrivals.drive ~now:Jp_util.Timer.now ~sleep:Unix.sleepf ~schedule
+             (fun i ->
+               tickets.(i) <-
+                 Some
+                   (Service.submit svc ~key:i (fun ~cancel ~attempt:_ ~degraded ->
+                        polled_count_query r ~cancel ~degraded))));
+        Array.to_list tickets
+        |> List.map (fun tk -> shape (Service.await (Option.get tk))))
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "same seeds, same outcome shapes" true (a = b)
+
 let suite =
   [
     Alcotest.test_case "cancel token inert" `Quick test_cancel_token_inert;
@@ -464,4 +672,11 @@ let suite =
     Alcotest.test_case "chaos workload properties" `Quick test_chaos_workload_properties;
     Alcotest.test_case "trace ids correlate" `Quick test_trace_ids;
     Alcotest.test_case "chaos workload deterministic" `Quick test_chaos_workload_deterministic;
+    Alcotest.test_case "overload estimator" `Quick test_overload_estimator;
+    Alcotest.test_case "overload empty-queue recovery" `Quick test_overload_empty_queue_recovers;
+    Alcotest.test_case "overload hysteresis" `Quick test_overload_hysteresis;
+    Alcotest.test_case "shed at admission" `Quick test_shed_at_admission;
+    Alcotest.test_case "expired in queue" `Quick test_expired_in_queue;
+    Alcotest.test_case "brownout degrades, no publish" `Quick test_brownout_degrades_no_publish;
+    Alcotest.test_case "open-loop deterministic" `Quick test_open_loop_deterministic;
   ]

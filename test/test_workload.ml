@@ -2,6 +2,7 @@ module Relation = Jp_relation.Relation
 module Zipf = Jp_workload.Zipf
 module Generate = Jp_workload.Generate
 module Presets = Jp_workload.Presets
+module Arrivals = Jp_workload.Arrivals
 
 let test_zipf_skew () =
   let z = Zipf.create ~exponent:1.0 100 in
@@ -109,6 +110,98 @@ let test_density_classes () =
   Alcotest.(check bool) "protein denser than roadnet" true
     (fill Presets.Protein > 10.0 *. fill Presets.Roadnet)
 
+let test_arrivals_fixed_rate () =
+  let s = Arrivals.schedule ~rate:40.0 ~count:20 () in
+  Alcotest.(check int) "count" 20 (Array.length s);
+  Array.iteri
+    (fun i off ->
+      Alcotest.(check (float 0.)) "offset exactly i/rate"
+        (float_of_int i /. 40.0) off)
+    s;
+  (* fixed-rate schedules ignore the seed entirely *)
+  let s' = Arrivals.schedule ~seed:99 ~rate:40.0 ~count:20 () in
+  Alcotest.(check bool) "seed-independent" true (s = s');
+  Alcotest.(check int) "empty" 0 (Array.length (Arrivals.schedule ~rate:1.0 ~count:0 ()))
+
+let test_arrivals_poisson () =
+  let p seed = Arrivals.schedule ~process:Arrivals.Poisson ~seed ~rate:100.0 ~count:2_000 () in
+  let a = p 3 and b = p 3 and c = p 4 in
+  Alcotest.(check bool) "same seed same schedule" true (a = b);
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(i - 1) then Alcotest.fail "offsets must be nondecreasing"
+  done;
+  (* mean interarrival over 2000 draws should sit near 1/rate = 10ms *)
+  let mean = a.(Array.length a - 1) /. float_of_int (Array.length a - 1) in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean interarrival %.4fs near 0.01s" mean)
+    true
+    (mean > 0.008 && mean < 0.012)
+
+let test_arrivals_validation () =
+  Alcotest.check_raises "rate 0" (Invalid_argument "Arrivals.schedule: rate must be > 0")
+    (fun () -> ignore (Arrivals.schedule ~rate:0.0 ~count:1 ()));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Arrivals.schedule: count must be >= 0")
+    (fun () -> ignore (Arrivals.schedule ~rate:1.0 ~count:(-1) ()));
+  Alcotest.(check bool) "roundtrip fixed" true
+    (Arrivals.process_of_string (Arrivals.process_to_string Arrivals.Fixed_rate)
+     = Some Arrivals.Fixed_rate);
+  Alcotest.(check bool) "roundtrip poisson" true
+    (Arrivals.process_of_string (Arrivals.process_to_string Arrivals.Poisson)
+     = Some Arrivals.Poisson);
+  Alcotest.(check bool) "unknown" true (Arrivals.process_of_string "burst" = None)
+
+let test_arrivals_sweep () =
+  let s = Arrivals.sweep ~lo:10.0 ~hi:640.0 ~steps:4 in
+  Alcotest.(check int) "steps" 4 (Array.length s);
+  Alcotest.(check (float 1e-9)) "lo endpoint" 10.0 s.(0);
+  Alcotest.(check (float 1e-9)) "hi endpoint exact" 640.0 s.(3);
+  (* geometric: constant ratio between consecutive rates *)
+  let r01 = s.(1) /. s.(0) and r12 = s.(2) /. s.(1) in
+  Alcotest.(check (float 1e-6)) "constant ratio" r01 r12;
+  Alcotest.(check bool) "steps=1 is just hi" true
+    (Arrivals.sweep ~lo:10.0 ~hi:640.0 ~steps:1 = [| 640.0 |]);
+  Alcotest.check_raises "hi < lo" (Invalid_argument "Arrivals.sweep: hi must be >= lo")
+    (fun () -> ignore (Arrivals.sweep ~lo:10.0 ~hi:5.0 ~steps:3))
+
+let test_arrivals_drive_fake_clock () =
+  (* Fake clock: sleeping advances it; submissions are also given a fixed
+     cost, so the driver falls behind schedule partway through and must
+     stop sleeping (open-loop: never stretch the schedule). *)
+  let clock = ref 100.0 in
+  let slept = ref [] in
+  let now () = !clock in
+  let sleep d =
+    slept := d :: !slept;
+    clock := !clock +. d
+  in
+  let submitted = ref [] in
+  let submit_cost = 0.015 in
+  let submit i =
+    submitted := (i, !clock) :: !submitted;
+    clock := !clock +. submit_cost
+  in
+  let schedule = Arrivals.schedule ~rate:100.0 ~count:5 () in
+  let start = Arrivals.drive ~now ~sleep ~schedule submit in
+  Alcotest.(check (float 0.)) "start is entry clock" 100.0 start;
+  let subs = List.rev !submitted in
+  Alcotest.(check (list int)) "all submitted in order" [ 0; 1; 2; 3; 4 ]
+    (List.map fst subs);
+  List.iteri
+    (fun i (_, at) ->
+      let due = start +. schedule.(i) in
+      if at < due -. 1e-9 then
+        Alcotest.failf "query %d submitted %.4fs early" i (due -. at))
+    subs;
+  (* with a 15ms submit cost against 10ms interarrivals the driver is
+     behind from query 2 on: it may sleep only for the first arrivals *)
+  Alcotest.(check bool) "stops sleeping once behind" true
+    (List.length !slept < 5);
+  List.iter
+    (fun d -> if d < 0. then Alcotest.fail "negative sleep")
+    !slept
+
 let suite =
   [
     Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
@@ -121,4 +214,9 @@ let suite =
     Alcotest.test_case "preset names" `Quick test_presets_roundtrip_names;
     Alcotest.test_case "preset determinism" `Quick test_presets_determinism;
     Alcotest.test_case "density classes" `Quick test_density_classes;
+    Alcotest.test_case "arrivals fixed rate" `Quick test_arrivals_fixed_rate;
+    Alcotest.test_case "arrivals poisson" `Quick test_arrivals_poisson;
+    Alcotest.test_case "arrivals validation" `Quick test_arrivals_validation;
+    Alcotest.test_case "arrivals sweep" `Quick test_arrivals_sweep;
+    Alcotest.test_case "arrivals drive fake clock" `Quick test_arrivals_drive_fake_clock;
   ]

@@ -4,8 +4,9 @@
 # by "# EOF", must record at least one executed query, and the service
 # counters must balance --
 #
-#   submitted       = accepted + rejected
-#   accepted        = completed + failed + deadline + cancelled
+#   submitted       = accepted + rejected (queue full) + shed (controller)
+#   accepted        = completed + failed + deadline + expired_in_queue
+#                   + cancelled
 #   workers_spawned = workers_joined
 #
 # Usage: sh tools/ci/check_metrics.sh FILE.om
@@ -27,8 +28,10 @@ awk '
     submitted = v["jp_service_submitted_total"]
     accepted  = v["jp_service_accepted_total"]
     rejected  = v["jp_service_rejected_overload_total"]
+    shed      = v["jp_service_shed_total"]
     resolved  = v["jp_service_completed_total"] + v["jp_service_failed_total"] \
               + v["jp_service_deadline_exceeded_total"] \
+              + v["jp_service_expired_in_queue_total"] \
               + v["jp_service_cancelled_total"]
     spawned   = v["jp_service_workers_spawned_total"]
     joined    = v["jp_service_workers_joined_total"]
@@ -37,13 +40,13 @@ awk '
       print "check_metrics: no submissions recorded (empty or wrong file?)"
       status = 1
     }
-    if (submitted != accepted + rejected) {
-      printf "check_metrics: admissions do not balance: submitted %d != accepted %d + rejected %d\n", \
-        submitted, accepted, rejected
+    if (submitted != accepted + rejected + shed) {
+      printf "check_metrics: admissions do not balance: submitted %d != accepted %d + rejected %d + shed %d\n", \
+        submitted, accepted, rejected, shed
       status = 1
     }
     if (accepted != resolved) {
-      printf "check_metrics: resolutions do not balance: accepted %d != completed+failed+deadline+cancelled %d\n", \
+      printf "check_metrics: resolutions do not balance: accepted %d != completed+failed+deadline+expired+cancelled %d\n", \
         accepted, resolved
       status = 1
     }
