@@ -40,7 +40,14 @@
                bracketing the knee, overload controller (shed / dequeue
                expiry / brownout) vs the bare bounded queue; goodput
                must stay near the knee with the controller on while the
-               foil collapses past it (own tag, CI smoke). *)
+               foil collapses past it (own tag, CI smoke);
+   ABL-TILE    tiled, memory-bounded heavy-part MM (Jp_tile): overhead
+               of forcing the two-path heavy product through the tiled
+               schedule at default sizes, and a capped-memory cell whose
+               operand tiles exceed the resident budget many times over
+               — it must stream under the cap (LANDLORD evict/rebuild)
+               and stay bit-equal to the flat kernel (own tag, CI
+               smoke). *)
 
 module Relation = Jp_relation.Relation
 module Presets = Jp_workload.Presets
@@ -773,6 +780,112 @@ let load cfg =
       (goodput_of on_hi) (goodput_of off_hi);
     exit 1
   end
+
+(* ABL-TILE: the tiled heavy-part product.  Two claims are priced: the
+   tiled schedule is near-free at default sizes (so the size gate can
+   err toward tiling), and a resident budget far below the operands'
+   footprint still completes, streaming tiles LANDLORD-style, with a
+   bit-equal result. *)
+let tile cfg =
+  Bench_common.section
+    "ABL-TILE: tiled, memory-bounded heavy-part MM (Jp_tile)";
+  let count ?tile r =
+    Jp_relation.Pairs.count
+      (Joinproj.Two_path.project ~strategy:Joinproj.Two_path.Matrix ?tile ~r
+         ~s:r ())
+  in
+  let forced = Jp_tile.config ~force:true () in
+  let rows =
+    List.map
+      (fun name ->
+        let r = Bench_common.dataset cfg name in
+        let ds = Presets.to_string name in
+        let flat, n0 =
+          Bench_common.timed_cell ~label:(ds ^ "/untiled") cfg (fun () ->
+              count r)
+        in
+        let tiled, n1 =
+          Bench_common.timed_cell ~label:(ds ^ "/tiled") cfg (fun () ->
+              count ~tile:forced r)
+        in
+        Bench_common.check_consistent cfg ~label:ds [ n0; n1 ];
+        [ ds; flat; tiled ])
+      [ Presets.Jokes; Presets.Dblp ]
+  in
+  Tablefmt.print
+    ~header:[ "dataset"; "untiled"; "tiled (forced, 512-wide)" ]
+    ~rows;
+  Bench_common.note
+    "target: the forced tiled schedule within 5%% of the flat kernel at";
+  Bench_common.note "default sizes (the size gate may then err toward tiling).";
+  (* The capped-memory cell: a synthetic boolean product whose operand
+     tiles total many times the budget.  The kernel must stay under the
+     cap (peak read from the tile.* counters) and agree bit-for-bit. *)
+  let n = max 256 (int_of_float (2000.0 *. cfg.Bench_common.scale)) in
+  let g = Jp_util.Rng.create 17 in
+  let m = Jp_matrix.Boolmat.create ~rows:n ~cols:n in
+  for i = 0 to n - 1 do
+    for _ = 0 to 39 do
+      Jp_matrix.Boolmat.set m i (Jp_util.Rng.int g n)
+    done
+  done;
+  let operand_bytes =
+    Jp_matrix.Cost.tile_operand_bytes Jp_matrix.Cost.Boolean ~u:n ~v:n ~w:n
+  in
+  let budget = max 4096 (operand_bytes / 16) in
+  let capped =
+    Jp_tile.config ~tile_bits:6 ~budget_bytes:budget ~force:true ()
+  in
+  let src = Jp_tile.Source.of_boolmat m in
+  let was_recording = Jp_obs.recording () in
+  if not was_recording then Jp_obs.enable ();
+  let peak_before =
+    Option.value ~default:0
+      (List.assoc_opt "tile.peak_bytes" (Jp_obs.counter_values ()))
+  in
+  let nnz_tiled = ref 0 in
+  let t_capped =
+    Bench_common.time ~label:"capped/tiled" cfg (fun () ->
+        nnz_tiled := Jp_matrix.Boolmat.nnz (Jp_tile.mul capped src src))
+  in
+  (* The counter accumulates one high-water mark per repeat; each run is
+     deterministic at domains = 1, so the per-run peak is the mean. *)
+  let peak =
+    (Option.value ~default:0
+       (List.assoc_opt "tile.peak_bytes" (Jp_obs.counter_values ()))
+    - peak_before)
+    / max 1 cfg.Bench_common.repeats
+  in
+  if not was_recording then Jp_obs.disable ();
+  let nnz_flat = ref 0 in
+  let t_flat =
+    Bench_common.time ~label:"capped/flat" cfg (fun () ->
+        nnz_flat := Jp_matrix.Boolmat.nnz (Jp_matrix.Boolmat.mul m m))
+  in
+  Bench_common.check_consistent cfg ~label:"capped product"
+    [ !nnz_tiled; !nnz_flat ];
+  if peak > budget then begin
+    Printf.printf
+      "  ERROR: tile store peak %d bytes exceeds the %d-byte budget\n%!" peak
+      budget;
+    if cfg.Bench_common.strict then exit 1
+  end;
+  Tablefmt.print
+    ~header:
+      [ Printf.sprintf "capped product (n=%d, cap=%dK)" n (budget / 1024); "time" ]
+    ~rows:
+      [
+        [ "flat (both operands resident)"; Tablefmt.seconds t_flat ];
+        [
+          Printf.sprintf "tiled under cap (peak %dK, %dx over budget)"
+            (peak / 1024)
+            (operand_bytes / budget);
+          Tablefmt.seconds t_capped;
+        ];
+      ];
+  Bench_common.note
+    "operands exceed the resident cap; the tiled kernel streams (evict +";
+  Bench_common.note "rebuild) and must return the flat kernel's exact matrix."
 
 let all cfg =
   dedup cfg;

@@ -86,6 +86,22 @@ let cache_summary counters =
       ("bytes", Int (get "cache.bytes"));
     ]
 
+(* Same always-present treatment for the tile.* counters: [peak_bytes]
+   is the cell's high-water resident-set mark under the tile store's
+   byte budget, the headline number of the memory-bounded kernels. *)
+let tile_summary counters =
+  let open Jp_obs.Json in
+  let get n = Option.value ~default:0 (List.assoc_opt n counters) in
+  Obj
+    [
+      ("build", Int (get "tile.build"));
+      ("store_hit", Int (get "tile.store_hit"));
+      ("evict", Int (get "tile.evict"));
+      ("product", Int (get "tile.product"));
+      ("bytes", Int (get "tile.bytes"));
+      ("peak_bytes", Int (get "tile.peak_bytes"));
+    ]
+
 (* Exact nearest-rank quantile over the per-repeat times — the sample is
    tiny (repeats runs), so no bucketing, just a sort. *)
 let run_quantile q dts =
@@ -105,7 +121,8 @@ let emit_record ?checksum ~label ~seconds ~runs counters =
       ("p99", Float (run_quantile 0.99 runs)) ]
     @ (match checksum with Some c -> [ ("checksum", Int c) ] | None -> [])
     @ [ ("counters", Obj (List.map (fun (n, v) -> (n, Int v)) counters));
-        ("cache", cache_summary counters) ]
+        ("cache", cache_summary counters);
+        ("tile", tile_summary counters) ]
   in
   json_records := Obj fields :: !json_records
 

@@ -36,6 +36,58 @@ let tests scale =
         (Staged.stage (fun () ->
              let a = Lazy.force a and b = Lazy.force b in
              ignore (Boolmat.count_product a b)));
+      (* ABL-TILE: the tiled kernels across a tile-size sweep (the flat
+         fig3 rows above are their baseline; 512-wide tiles make the
+         512x512 operand a single tile, pricing the pure schedule
+         overhead) *)
+      Test.make ~name:"abl-tile-bool-mm-512-t64"
+        (Staged.stage (fun () ->
+             let a = Lazy.force a and b = Lazy.force b in
+             ignore
+               (Jp_tile.mul
+                  (Jp_tile.config ~tile_bits:6 ())
+                  (Jp_tile.Source.of_boolmat a)
+                  (Jp_tile.Source.of_boolmat b))));
+      Test.make ~name:"abl-tile-bool-mm-512-t128"
+        (Staged.stage (fun () ->
+             let a = Lazy.force a and b = Lazy.force b in
+             ignore
+               (Jp_tile.mul
+                  (Jp_tile.config ~tile_bits:7 ())
+                  (Jp_tile.Source.of_boolmat a)
+                  (Jp_tile.Source.of_boolmat b))));
+      Test.make ~name:"abl-tile-bool-mm-512-t512"
+        (Staged.stage (fun () ->
+             let a = Lazy.force a and b = Lazy.force b in
+             ignore
+               (Jp_tile.mul
+                  (Jp_tile.config ~tile_bits:9 ())
+                  (Jp_tile.Source.of_boolmat a)
+                  (Jp_tile.Source.of_boolmat b))));
+      Test.make ~name:"abl-tile-count-mm-512-t64"
+        (Staged.stage (fun () ->
+             let a = Lazy.force a and b = Lazy.force b in
+             ignore
+               (Jp_tile.count_product
+                  (Jp_tile.config ~tile_bits:6 ())
+                  (Jp_tile.Source.of_boolmat a)
+                  (Jp_tile.Source.of_boolmat b))));
+      Test.make ~name:"abl-tile-count-mm-512-t128"
+        (Staged.stage (fun () ->
+             let a = Lazy.force a and b = Lazy.force b in
+             ignore
+               (Jp_tile.count_product
+                  (Jp_tile.config ~tile_bits:7 ())
+                  (Jp_tile.Source.of_boolmat a)
+                  (Jp_tile.Source.of_boolmat b))));
+      Test.make ~name:"abl-tile-count-mm-512-t512"
+        (Staged.stage (fun () ->
+             let a = Lazy.force a and b = Lazy.force b in
+             ignore
+               (Jp_tile.count_product
+                  (Jp_tile.config ~tile_bits:9 ())
+                  (Jp_tile.Source.of_boolmat a)
+                  (Jp_tile.Source.of_boolmat b))));
       (* FIG4a: MMJoin vs the dedup-vector expansion on a dense family *)
       Test.make ~name:"fig4a-mmjoin-jokes"
         (Staged.stage (fun () ->

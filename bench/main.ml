@@ -33,6 +33,7 @@ let experiments =
     ("ABL-OBS", Bench_ablation.obs);
     ("ABL-CQ", Bench_ablation.cq);
     ("ABL-LOAD", Bench_ablation.load);
+    ("ABL-TILE", Bench_ablation.tile);
   ]
 
 let () =

@@ -100,6 +100,50 @@ let guard_of adaptive budget_ms inject_est =
     Some cfg
   end
 
+(* Tiling flags, shared by join/profile: stream the heavy-part product
+   through [Jp_tile]. *)
+
+let tiled_flag =
+  Arg.(
+    value & flag
+    & info [ "tiled" ]
+        ~doc:
+          "Stream the heavy-part matrix product through the tiled kernel \
+           ($(b,Jp_tile)) even below the size threshold; results are \
+           bit-equal to the flat kernels.")
+
+let tile_bits_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tile-bits" ] ~docv:"K"
+        ~doc:
+          "Tile shape 2^K x 2^K for the tiled heavy-part product (default \
+           9; implies $(b,--tiled)).")
+
+let max_resident_mb =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-resident-mb" ] ~docv:"MB"
+        ~doc:
+          "Bound the tiled product's resident operand-tile set to MB \
+           megabytes: cold tiles are evicted LANDLORD-style and rebuilt on \
+           demand, so operands larger than the cap stream instead of \
+           staying materialized (implies $(b,--tiled)).")
+
+(* [None] when no tile flag was given, so the default paths stay exactly
+   the untiled ones. *)
+let tile_of tiled tile_bits max_resident_mb =
+  if (not tiled) && tile_bits = None && max_resident_mb = None then None
+  else
+    Some
+      (Jp_tile.config
+         ?tile_bits
+         ?budget_bytes:
+           (Option.map (fun mb -> mb * 1024 * 1024) max_resident_mb)
+         ~force:true ())
+
 let warn_guard_unsupported guard what =
   if guard <> None then
     Printf.eprintf
@@ -194,33 +238,47 @@ let engine =
         ~doc:"Engine: $(b,mm), $(b,nonmm), $(b,wcoj), $(b,hash), $(b,sortmerge) or $(b,bitset).")
 
 let join_cmd =
-  let run name input scale seed domains engine adaptive budget_ms inject_est =
+  let run name input scale seed domains engine adaptive budget_ms inject_est
+      tiled tile_bits mrmb =
     let r = load_source name input scale seed in
     let guard = guard_of adaptive budget_ms inject_est in
+    let tile = tile_of tiled tile_bits mrmb in
+    let warn_tile what =
+      if tile <> None then
+        Printf.eprintf
+          "joinproj: note: --tiled/--tile-bits/--max-resident-mb have no \
+           effect on %s\n"
+          what
+    in
     let count, t =
       Jp_util.Timer.time (fun () ->
           match engine with
           | `Mm ->
             let pairs, plan =
-              Two_path.project_with_plan_info ~domains ?guard ~r ~s:r ()
+              Two_path.project_with_plan_info ~domains ?guard ?tile ~r ~s:r ()
             in
             print_endline (Optimizer.explain plan);
             Jp_relation.Pairs.count pairs
           | `Nonmm ->
+            warn_tile "the combinatorial heavy part";
             Jp_relation.Pairs.count
               (Two_path.project ~domains ~strategy:Two_path.Combinatorial ?guard
                  ~r ~s:r ())
           | `Wcoj ->
             warn_guard_unsupported guard "the wcoj baseline";
+            warn_tile "the wcoj baseline";
             Jp_relation.Pairs.count (Jp_baselines.Fulljoin.two_path ~domains ~r ~s:r ())
           | `Hash ->
             warn_guard_unsupported guard "the hash baseline";
+            warn_tile "the hash baseline";
             Jp_relation.Pairs.count (Jp_baselines.Hash_join.two_path ~r ~s:r)
           | `Sortmerge ->
             warn_guard_unsupported guard "the sortmerge baseline";
+            warn_tile "the sortmerge baseline";
             Jp_relation.Pairs.count (Jp_baselines.Sortmerge_join.two_path ~r ~s:r)
           | `Bitset ->
             warn_guard_unsupported guard "the bitset baseline";
+            warn_tile "the bitset baseline";
             Jp_relation.Pairs.count (Jp_baselines.Bitset_engine.two_path ~r ~s:r ()))
     in
     report "two-path join-project" count t
@@ -229,7 +287,8 @@ let join_cmd =
     (Cmd.info "join" ~doc:"Evaluate the 2-path join-project self-join.")
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ engine
-      $ adaptive $ budget_ms $ inject_est)
+      $ adaptive $ budget_ms $ inject_est $ tiled_flag $ tile_bits_arg
+      $ max_resident_mb)
 
 let star_cmd =
   let k =
@@ -429,9 +488,16 @@ let profile_cmd =
           ~doc:"Flow to profile: $(b,join), $(b,star), $(b,ssj), $(b,scj) or $(b,bsi).")
   in
   let run name input scale seed domains what trace_out metrics_out adaptive
-      budget_ms inject_est =
+      budget_ms inject_est tiled tile_bits mrmb =
     let r = load_source name input scale seed in
     let guard = guard_of adaptive budget_ms inject_est in
+    let tile = tile_of tiled tile_bits mrmb in
+    (match (tile, what) with
+    | Some _, (`Star | `Ssj | `Scj | `Bsi) ->
+      Printf.eprintf
+        "joinproj: note: --tiled/--tile-bits/--max-resident-mb only affect \
+         the join flow\n"
+    | _ -> ());
     (* The plan lines come from the same helper as [explain]; print them
        before recording starts so the extra planning calls stay out of the
        span tree. *)
@@ -446,7 +512,8 @@ let profile_cmd =
           Jp_util.Timer.time (fun () ->
               match what with
               | `Join ->
-                Jp_relation.Pairs.count (Two_path.project ~domains ?guard ~r ~s:r ())
+                Jp_relation.Pairs.count
+                  (Two_path.project ~domains ?guard ?tile ~r ~s:r ())
               | `Star ->
                 Jp_relation.Tuples.count
                   (Joinproj.Star.project ~domains ?guard (Array.make 3 r))
@@ -496,7 +563,8 @@ let profile_cmd =
           the engine counters and the plan-vs-actual table.")
     Term.(
       const run $ dataset $ input_file $ scale $ seed $ domains $ what
-      $ trace_out_arg $ metrics_out_arg $ adaptive $ budget_ms $ inject_est)
+      $ trace_out_arg $ metrics_out_arg $ adaptive $ budget_ms $ inject_est
+      $ tiled_flag $ tile_bits_arg $ max_resident_mb)
 
 let policy_arg =
   Arg.(

@@ -133,7 +133,10 @@ val two_path_memo :
     [project_counts]: prepared statistics and heavy-part matrix products
     served from the cache.  The memo is specific to this (r, s) pair.
     Products are keyed on thresholds but not on [domains]: the matrix
-    kernels produce identical matrices for any worker count. *)
+    kernels produce identical matrices for any worker count.  When the
+    heavy product runs tiled, the tile hooks cache partial products at
+    tile granularity instead — keys add (tile_bits, ti, tj) so a later
+    query re-uses exactly the tiles it shares. *)
 
 (** {1 L3 result bindings (consumed by [Jp_service])} *)
 

@@ -35,7 +35,7 @@ let gate_star ?machine ?domains rels =
   done;
   gate_two_path ?machine ?domains ~r:rels.(!best) ~s:rels.(!second) ()
 
-let two_path ?domains ?guard ?cancel ?memo ~r ~s () =
-  Two_path.project ?domains ?guard ?cancel ?memo ~r ~s ()
+let two_path ?domains ?guard ?cancel ?memo ?tile ~r ~s () =
+  Two_path.project ?domains ?guard ?cancel ?memo ?tile ~r ~s ()
 
 let star ?domains ?guard ?cancel rels = Star.project ?domains ?guard ?cancel rels

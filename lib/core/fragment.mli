@@ -61,12 +61,14 @@ val two_path :
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Cancel.t ->
   ?memo:Two_path.memo ->
+  ?tile:Jp_tile.config ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
   Pairs.t
 (** Execute a 2-path fragment: π{_xz}(R ⋈ S) via {!Two_path.project}.
-    Pairs come out as (r's source value, s's source value). *)
+    Pairs come out as (r's source value, s's source value); [?tile]
+    streams an over-threshold heavy product through {!Jp_tile}. *)
 
 val star :
   ?domains:int ->

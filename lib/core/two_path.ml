@@ -21,6 +21,21 @@ type memo = {
   memo_prepared : (unit -> Optimizer.prepared) -> Optimizer.prepared;
   memo_bool_product : d1:int -> d2:int -> (unit -> Boolmat.t) -> Boolmat.t;
   memo_count_product : d1:int -> (unit -> Intmat.t) -> Intmat.t;
+  memo_bool_tile :
+    d1:int ->
+    d2:int ->
+    tile_bits:int ->
+    ti:int ->
+    tj:int ->
+    (unit -> Boolmat.t) ->
+    Boolmat.t;
+  memo_count_tile :
+    d1:int ->
+    tile_bits:int ->
+    ti:int ->
+    tj:int ->
+    (unit -> Intmat.t) ->
+    Intmat.t;
 }
 
 let no_memo =
@@ -28,6 +43,9 @@ let no_memo =
     memo_prepared = (fun build -> build ());
     memo_bool_product = (fun ~d1:_ ~d2:_ build -> build ());
     memo_count_product = (fun ~d1:_ build -> build ());
+    memo_bool_tile =
+      (fun ~d1:_ ~d2:_ ~tile_bits:_ ~ti:_ ~tj:_ build -> build ());
+    memo_count_tile = (fun ~d1:_ ~tile_bits:_ ~ti:_ ~tj:_ build -> build ());
   }
 
 (* Cancellation support.  [check_cancel] is the phase-boundary
@@ -92,6 +110,73 @@ let heavy_matrices ~domains ~r ~s (p : Partition.t) =
    over a full-relation partition, answering heavy-heavy point queries
    straight from its bits. *)
 let heavy_product ?(domains = 1) ~r ~s p = heavy_matrices ~domains ~r ~s p
+
+(* Tiled sibling of [heavy_matrices]: the operands are handed to
+   [Jp_tile] as lazy adjacency sources, so the full M₁/M₂ are never
+   materialized — tiles are built on demand and stream through the
+   bounded resident store.  Deterministic in (r, s, thresholds,
+   tile_bits), independent of domains and budget, and bit-equal to
+   [heavy_matrices]. *)
+let heavy_matrices_tiled ?cancel ?checkpoint ~tile ~memo ~domains ~r ~s
+    (p : Partition.t) =
+  Obs.span "two_path.heavy_mm" (fun () ->
+      let u = Array.length p.heavy_x
+      and v = Array.length p.heavy_y
+      and w = Array.length p.heavy_z in
+      let src_a =
+        Jp_tile.Source.of_adjacency ~rows:u ~cols:v (fun i ->
+            let bits = Vec.create () in
+            Array.iter
+              (fun b ->
+                let j = p.y_index.(b) in
+                if j >= 0 then Vec.push bits j)
+              (Relation.adj_src r p.heavy_x.(i));
+            Vec.to_array bits)
+      in
+      let src_b =
+        Jp_tile.Source.of_adjacency ~rows:v ~cols:w (fun j ->
+            let bits = Vec.create () in
+            let y = p.heavy_y.(j) in
+            if y < Relation.dst_count s then
+              Array.iter
+                (fun c ->
+                  let l = p.z_index.(c) in
+                  if l >= 0 then Vec.push bits l)
+                (Relation.adj_dst s y);
+            Vec.to_array bits)
+      in
+      Jp_tile.mul ~domains ?cancel ?checkpoint
+        ~memo:
+          (memo.memo_bool_tile ~d1:p.Partition.d1 ~d2:p.Partition.d2
+             ~tile_bits:tile.Jp_tile.tile_bits)
+        tile src_a src_b)
+
+(* The heavy boolean product behind the tiling gate: with a [?tile]
+   config present and the cost model agreeing (operands big enough, or
+   bigger than the configured resident budget), stream through
+   [Jp_tile] with per-tile memo keys; otherwise the historical flat
+   kernel behind the whole-product memo hook — byte-identical when
+   [tile] is [None]. *)
+let heavy_bool_product ?cancel ?checkpoint ~tile ~memo ~domains ~r ~s
+    (p : Partition.t) =
+  let tiled =
+    match tile with
+    | None -> None
+    | Some cfg ->
+      if
+        cfg.Jp_tile.force
+        || Jp_matrix.Cost.should_tile ?budget_bytes:cfg.Jp_tile.budget_bytes
+             Jp_matrix.Cost.Boolean ~u:(Array.length p.heavy_x)
+             ~v:(Array.length p.heavy_y) ~w:(Array.length p.heavy_z) ()
+      then Some cfg
+      else None
+  in
+  match tiled with
+  | Some cfg ->
+    heavy_matrices_tiled ?cancel ?checkpoint ~tile:cfg ~memo ~domains ~r ~s p
+  | None ->
+    memo.memo_bool_product ~d1:p.Partition.d1 ~d2:p.Partition.d2 (fun () ->
+        heavy_matrices ~domains ~r ~s p)
 
 (* For heavy y values, pre-split S's inverted list into its light-z and
    heavy-z halves once (O(N)); the per-x merge loop would otherwise rescan
@@ -190,7 +275,7 @@ let merge_range ?scratch ~r ~s ~(p : Partition.t) ~product ~s_light_of_heavy_y
   end;
   !produced
 
-let partitioned_project ?cancel ~phases ~domains ~strategy ~memo ~r ~s
+let partitioned_project ?cancel ?tile ~phases ~domains ~strategy ~memo ~r ~s
     (p : Partition.t) =
   check_cancel cancel;
   let product =
@@ -198,8 +283,7 @@ let partitioned_project ?cancel ~phases ~domains ~strategy ~memo ~r ~s
     | Matrix ->
       Some
         (phase phases "heavy-mm" (fun () ->
-             memo.memo_bool_product ~d1:p.Partition.d1 ~d2:p.Partition.d2
-               (fun () -> heavy_matrices ~domains ~r ~s p)))
+             heavy_bool_product ?cancel ~tile ~memo ~domains ~r ~s p))
     | Combinatorial -> None
   in
   check_cancel cancel;
@@ -265,8 +349,8 @@ let partition_cells (p : Partition.t) =
    Re-planning is always done with clean (un-injected) statistics and
    bounded by the guard's fuel, so the recursion terminates.  A cancel
    token is polled at exactly these checkpoints. *)
-let guarded_project ?cancel ~g ~prep ~domains ~strategy ~memo ~phases ~r ~s
-    plan0 =
+let guarded_project ?cancel ?tile ~g ~prep ~domains ~strategy ~memo ~phases ~r
+    ~s plan0 =
   let module Guard = Jp_adaptive.Guard in
   let cfg = Guard.config g in
   let nx = Relation.src_count r in
@@ -366,10 +450,22 @@ let guarded_project ?cancel ~g ~prep ~domains ~strategy ~memo ~phases ~r ~s
     let product =
       match !strat with
       | Matrix ->
+        (* Guard checkpoints once per output tile, but only when the
+           tiles run on the calling domain — worker domains race past
+           sequential checkpoints (same rule as the chunked merge). *)
+        let checkpoint =
+          if domains > 1 then None
+          else
+            Some
+              (fun () ->
+                match Guard.check_budget g ~cells:0 with
+                | Guard.Degrade -> Guard.note_degrade g
+                | Guard.Continue | Guard.Replan -> ())
+        in
         Some
           (phase phases "heavy-mm" (fun () ->
-               memo.memo_bool_product ~d1:p.Partition.d1 ~d2:p.Partition.d2
-                 (fun () -> heavy_matrices ~domains ~r ~s p)))
+               heavy_bool_product ?cancel ?checkpoint ~tile ~memo ~domains ~r
+                 ~s p))
       | Combinatorial -> None
     in
     check_cancel cancel;
@@ -460,8 +556,8 @@ let guarded_project ?cancel ~g ~prep ~domains ~strategy ~memo ~phases ~r ~s
   run plan0 0;
   Pairs.of_rows_unchecked rows
 
-let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ?memo ~r
-    ~s () =
+let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ?memo
+    ?tile ~r ~s () =
   let memo = match memo with Some m -> m | None -> no_memo in
   match guard with
   | Some gcfg ->
@@ -485,8 +581,8 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ?memo ~r
                   ~mm_cost_scale:inj.Inject.mm_factor (Lazy.force prep) ())
         in
         let result =
-          guarded_project ?cancel ~g ~prep ~domains ~strategy ~memo ~phases ~r
-            ~s plan
+          guarded_project ?cancel ?tile ~g ~prep ~domains ~strategy ~memo
+            ~phases ~r ~s plan
         in
         if Obs.recording () then
           Obs.record_plan ~label:"two_path" ~replanned:(Guard.replanned g)
@@ -524,7 +620,8 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ?memo ~r
               phase phases "partition" (fun () ->
                   Partition.make ?cancel ~r ~s ~d1 ~d2 ())
             in
-            partitioned_project ?cancel ~phases ~domains ~strategy ~memo ~r ~s p
+            partitioned_project ?cancel ?tile ~phases ~domains ~strategy ~memo
+              ~r ~s p
         in
         if Obs.recording () then
           Obs.record_plan ~label:"two_path"
@@ -536,9 +633,9 @@ let project ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel ?memo ~r
         result)
 
 let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ?guard ?cancel
-    ~r ~s () =
+    ?tile ~r ~s () =
   let plan = Optimizer.plan ~domains ~kind:Jp_matrix.Cost.Boolean ~r ~s () in
-  (project ~domains ~strategy ~plan ?guard ?cancel ~r ~s (), plan)
+  (project ~domains ~strategy ~plan ?guard ?cancel ?tile ~r ~s (), plan)
 
 (* ------------------------------------------------------------------ *)
 (* Exact-count evaluation (partition on the join variable only)        *)
@@ -550,8 +647,8 @@ let project_with_plan_info ?(domains = 1) ?(strategy = Matrix) ?guard ?cancel
    matrices were actually used — [false] means the cell cap (or an
    explicit [~matrix:false]) forced the combinatorial fallback, which the
    guarded path records as a degradation. *)
-let counted_partitioned ?cancel ~phases ~domains ~memo ~r ~s ~d1 ~matrix ~cap
-    () =
+let counted_partitioned ?cancel ?tile ?checkpoint ~phases ~domains ~memo ~r ~s
+    ~d1 ~matrix ~cap () =
   let ny = max (Relation.dst_count r) (Relation.dst_count s) in
   let deg_ry y = if y < Relation.dst_count r then Relation.deg_dst r y else 0 in
   let deg_sy y = if y < Relation.dst_count s then Relation.deg_dst s y else 0 in
@@ -577,38 +674,70 @@ let counted_partitioned ?cancel ~phases ~domains ~memo ~r ~s ~d1 ~matrix ~cap
   let use_matrix = matrix && v > 0 && fits in
   let x_index = Array.make (Relation.src_count r) (-1) in
   Array.iteri (fun i a -> x_index.(a) <- i) hx;
+  let tiled =
+    match tile with
+    | None -> None
+    | Some cfg ->
+      if
+        cfg.Jp_tile.force
+        || Jp_matrix.Cost.should_tile ?budget_bytes:cfg.Jp_tile.budget_bytes
+             Jp_matrix.Cost.Count ~u ~v ~w ()
+      then Some cfg
+      else None
+  in
   let product =
     if not use_matrix then None
     else
       phase phases "heavy-count-mm" (fun () ->
-          Some
-            (memo.memo_count_product ~d1 (fun () ->
-                 (* The count product A·Bᵀ over bit-packed rows (62
-                    multiply-adds per word op): A rows are x's heavy-y
-                    bitsets, B rows are z's heavy-y bitsets.  The whole
-                    build sits inside the memo thunk: a hit skips it. *)
-                 let y_index = Array.make ny (-1) in
-                 Array.iteri (fun j b -> y_index.(b) <- j) heavy_y;
-                 let heavy_row rel a =
-                   let bits = Jp_util.Vec.create () in
-                   Array.iter
-                     (fun b ->
-                       if b < ny then begin
-                         let j = y_index.(b) in
-                         if j >= 0 then Jp_util.Vec.push bits j
-                       end)
-                     (Relation.adj_src rel a);
-                   Jp_util.Vec.to_array bits
-                 in
-                 let m1 =
-                   Boolmat.of_adjacency ~rows:u ~cols:v (fun i ->
-                       heavy_row r hx.(i))
-                 in
-                 let m2 =
-                   Boolmat.of_adjacency ~rows:w ~cols:v (fun l ->
-                       heavy_row s hz.(l))
-                 in
-                 Boolmat.count_product ~domains m1 m2)))
+          (* The count product A·Bᵀ over bit-packed rows (62
+             multiply-adds per word op): A rows are x's heavy-y bitsets,
+             B rows are z's heavy-y bitsets. *)
+          let heavy_row_fn () =
+            let y_index = Array.make ny (-1) in
+            Array.iteri (fun j b -> y_index.(b) <- j) heavy_y;
+            fun rel a ->
+              let bits = Jp_util.Vec.create () in
+              Array.iter
+                (fun b ->
+                  if b < ny then begin
+                    let j = y_index.(b) in
+                    if j >= 0 then Jp_util.Vec.push bits j
+                  end)
+                (Relation.adj_src rel a);
+              Jp_util.Vec.to_array bits
+          in
+          match tiled with
+          | Some cfg ->
+            (* Tiled: operands stream through [Jp_tile]'s bounded store
+               and partial products memoize at tile granularity. *)
+            let heavy_row = heavy_row_fn () in
+            let src_a =
+              Jp_tile.Source.of_adjacency ~rows:u ~cols:v (fun i ->
+                  heavy_row r hx.(i))
+            in
+            let src_b =
+              Jp_tile.Source.of_adjacency ~rows:w ~cols:v (fun l ->
+                  heavy_row s hz.(l))
+            in
+            Some
+              (Jp_tile.count_product ~domains ?cancel ?checkpoint
+                 ~memo:(memo.memo_count_tile ~d1 ~tile_bits:cfg.Jp_tile.tile_bits)
+                 cfg src_a src_b)
+          | None ->
+            Some
+              (memo.memo_count_product ~d1 (fun () ->
+                   (* The whole build sits inside the memo thunk: a hit
+                      skips it. *)
+                   let heavy_row = heavy_row_fn () in
+                   let m1 =
+                     Boolmat.of_adjacency ~rows:u ~cols:v (fun i ->
+                         heavy_row r hx.(i))
+                   in
+                   let m2 =
+                     Boolmat.of_adjacency ~rows:w ~cols:v (fun l ->
+                         heavy_row s hz.(l))
+                   in
+                   Boolmat.count_product ~domains m1 m2)))
   in
   let treat_all_light = product = None in
   let nx = Relation.src_count r in
@@ -692,7 +821,7 @@ let counted_partitioned ?cancel ~phases ~domains ~memo ~r ~s ~d1 ~matrix ~cap
           (Counted_pairs.of_rows_unchecked rows, use_matrix)))
 
 let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel
-    ?memo ?(matrix_cell_cap = 200_000_000) ~r ~s () =
+    ?memo ?tile ?(matrix_cell_cap = 200_000_000) ~r ~s () =
   let memo = match memo with Some m -> m | None -> no_memo in
   Obs.span "two_path.project_counts" (fun () ->
       let t0 = Jp_util.Timer.now () in
@@ -776,9 +905,21 @@ let project_counts ?(domains = 1) ?(strategy = Matrix) ?plan ?guard ?cancel
           phase phases "wcoj" (fun () ->
               Jp_wcoj.Expand.project_counts ~domains ?cancel ~r ~s ())
         | Optimizer.Partitioned { d1; d2 = _ }, Matrix ->
+          (* Same per-tile checkpoint rule as the boolean guarded path:
+             only the calling domain may touch the guard. *)
+          let checkpoint =
+            match g with
+            | Some g when domains <= 1 ->
+              Some
+                (fun () ->
+                  match Guard.check_budget g ~cells:0 with
+                  | Guard.Degrade -> Guard.note_degrade g
+                  | Guard.Continue | Guard.Replan -> ())
+            | _ -> None
+          in
           let result, used_matrix =
-            counted_partitioned ?cancel ~phases ~domains ~memo ~r ~s ~d1
-              ~matrix:true ~cap ()
+            counted_partitioned ?cancel ?tile ?checkpoint ~phases ~domains
+              ~memo ~r ~s ~d1 ~matrix:true ~cap ()
           in
           (match g with
           | Some g when not used_matrix -> Guard.note_degrade g

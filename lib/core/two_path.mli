@@ -46,6 +46,28 @@ type memo = {
     d1:int -> d2:int -> (unit -> Jp_matrix.Boolmat.t) -> Jp_matrix.Boolmat.t;
   memo_count_product :
     d1:int -> (unit -> Jp_matrix.Intmat.t) -> Jp_matrix.Intmat.t;
+  memo_bool_tile :
+    d1:int ->
+    d2:int ->
+    tile_bits:int ->
+    ti:int ->
+    tj:int ->
+    (unit -> Jp_matrix.Boolmat.t) ->
+    Jp_matrix.Boolmat.t;
+      (** Tile-granularity sibling of [memo_bool_product], consulted
+          once per output tile when the heavy product runs tiled
+          ([?tile] + cost gate): tile (ti, tj) of the boolean heavy
+          product for thresholds (d1, d2) at the given tile size.  The
+          whole-product hook is {e not} consulted on the tiled path —
+          partial products cache at tile granularity instead. *)
+  memo_count_tile :
+    d1:int ->
+    tile_bits:int ->
+    ti:int ->
+    tj:int ->
+    (unit -> Jp_matrix.Intmat.t) ->
+    Jp_matrix.Intmat.t;
+      (** Tile-granularity sibling of [memo_count_product]. *)
 }
 
 val no_memo : memo
@@ -73,6 +95,7 @@ val project :
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Cancel.t ->
   ?memo:memo ->
+  ?tile:Jp_tile.config ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->
@@ -88,7 +111,18 @@ val project :
     re-plan with observed statistics — switching Wcoj ⇄ Partitioned
     mid-query while keeping rows already produced — or degrade matrix
     plans to the combinatorial heavy part when a budget is exhausted.
-    Without [guard] the code path is exactly the unguarded one. *)
+    Without [guard] the code path is exactly the unguarded one.
+
+    With [tile], the heavy-part product streams through {!Jp_tile} —
+    tiles as the work-stealing, memoization and memory-budget unit —
+    whenever {!Jp_matrix.Cost.should_tile} agrees (operands at least
+    [Cost.tile_min_bytes], or larger than the config's resident
+    budget) or the config's [force] flag is set; results are bit-equal
+    either way, and without [tile] the
+    code path is exactly the historical one (same guarantee as
+    [?guard]/[?cancel]/[?memo]).  Guard checkpoints and cancel polls
+    fire once per tile, and with a [memo] the tiled product consults
+    the tile-granularity hooks instead of the whole-product one. *)
 
 val project_counts :
   ?domains:int ->
@@ -97,6 +131,7 @@ val project_counts :
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Cancel.t ->
   ?memo:memo ->
+  ?tile:Jp_tile.config ->
   ?matrix_cell_cap:int ->
   r:Relation.t ->
   s:Relation.t ->
@@ -122,6 +157,7 @@ val project_with_plan_info :
   ?strategy:strategy ->
   ?guard:Jp_adaptive.Guard.config ->
   ?cancel:Cancel.t ->
+  ?tile:Jp_tile.config ->
   r:Relation.t ->
   s:Relation.t ->
   unit ->

@@ -21,7 +21,10 @@ let of_adjacency ~rows ~cols adj =
   { data = Array.init rows (fun i -> Bitset.of_sorted_array cols (adj i)); cols }
 
 let mul ?(domains = 1) a b =
-  if a.cols <> Array.length b.data then invalid_arg "Boolmat.mul: dimension mismatch";
+  if a.cols <> Array.length b.data then
+    invalid_arg
+      (Printf.sprintf "Boolmat.mul: dimension mismatch (%dx%d . %dx%d)"
+         (rows a) a.cols (rows b) b.cols);
   Jp_obs.span "matrix.bool_mul" (fun () ->
       let c = create ~rows:(rows a) ~cols:b.cols in
       let words_per_row =
@@ -49,7 +52,11 @@ let mul ?(domains = 1) a b =
       c)
 
 let count_product ?(domains = 1) a b =
-  if a.cols <> b.cols then invalid_arg "Boolmat.count_product: inner dim mismatch";
+  if a.cols <> b.cols then
+    invalid_arg
+      (Printf.sprintf
+         "Boolmat.count_product: inner dim mismatch (%dx%d . (%dx%d)T)"
+         (rows a) a.cols (rows b) b.cols);
   Jp_obs.span "matrix.count_product" (fun () ->
       let u = rows a and w = rows b in
       let c = Intmat.create ~rows:u ~cols:w in

@@ -33,7 +33,9 @@ val of_adjacency : rows:int -> cols:int -> (int -> int array) -> t
     exactly at positions [adj i]. *)
 
 val mul : ?domains:int -> t -> t -> t
-(** Boolean matrix product over the OR/AND semiring. *)
+(** Boolean matrix product over the OR/AND semiring.  Raises
+    [Invalid_argument] naming both operand shapes when the inner
+    dimensions disagree. *)
 
 val count_product : ?domains:int -> t -> t -> Intmat.t
 (** [count_product a b] with [a : u×v] and [b : w×v] (note: {e both} over
@@ -42,7 +44,9 @@ val count_product : ?domains:int -> t -> t -> Intmat.t
     [C(i,l) = |row_a(i) ∩ row_b(l)|] — the count matrix product
     A·Bᵀ computed as word-AND + popcount.  This is the kernel the
     counted join-project uses: 62 multiply-adds per word operation, the
-    same bit-slicing advantage SIMD SGEMM enjoys in the paper. *)
+    same bit-slicing advantage SIMD SGEMM enjoys in the paper.  Raises
+    [Invalid_argument] naming both operand shapes when the shared inner
+    dimensions disagree. *)
 
 val row_nnz : t -> int -> int
 

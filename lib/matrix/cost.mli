@@ -59,3 +59,25 @@ val mhat : machine -> kind -> u:int -> v:int -> w:int -> cores:int -> float
 val construction_seconds : machine -> u:int -> v:int -> w:int -> float
 (** Estimated time to materialize the two input matrices
     ([max(u·v, v·w)] cell writes, Section 3.1's [C] term). *)
+
+(** {2 Tiling threshold}
+
+    Gate for the [Jp_tile] tiled heavy-part product: tiling pays a
+    per-tile scheduling/blit overhead, so small products keep the flat
+    kernels; large products (or any product whose operand footprint
+    exceeds an explicit resident budget) stream through tiles. *)
+
+val tile_operand_bytes : kind -> u:int -> v:int -> w:int -> int
+(** Bytes of the two bit-packed operand matrices a [u×v · v×w] product
+    of the given kernel materializes (the count kernel stores the right
+    operand transposed, [w×v]). *)
+
+val tile_min_bytes : int
+(** Default operand-footprint threshold (32 MiB) above which
+    {!should_tile} opts into tiling even without a budget. *)
+
+val should_tile :
+  ?budget_bytes:int -> kind -> u:int -> v:int -> w:int -> unit -> bool
+(** True when the operand footprint reaches {!tile_min_bytes}, or
+    exceeds [budget_bytes] when one is given (a bounded resident set
+    must stream regardless of absolute size). *)

@@ -43,7 +43,10 @@ let mul_rows a b c lo hi =
   done
 
 let mul ?(domains = 1) a b =
-  if a.cols <> b.rows then invalid_arg "Intmat.mul: dimension mismatch";
+  if a.cols <> b.rows then
+    invalid_arg
+      (Printf.sprintf "Intmat.mul: dimension mismatch (%dx%d . %dx%d)" a.rows
+         a.cols b.rows b.cols);
   let c = create ~rows:a.rows ~cols:b.cols in
   if domains <= 1 then mul_rows a b c 0 a.rows
   else

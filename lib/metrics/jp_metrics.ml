@@ -243,6 +243,8 @@ module G = struct
 
   let cache_bytes = gauge "cache.resident_bytes"
 
+  let tile_bytes = gauge "tile.resident_bytes"
+
   let brownout = gauge "service.brownout"
 
   let est_wait_us = gauge "service.est_wait_us"
@@ -270,9 +272,10 @@ let metric_name name =
    sums; OpenMetrics allows any decimal or scientific literal. *)
 let float_str v = Printf.sprintf "%.9g" v
 
-(* cache.bytes is maintained as a counter cell for delta convenience but
-   is semantically a level — expose it with the honest type. *)
-let gauge_typed_counters = [ "cache.bytes" ]
+(* cache.bytes and tile.bytes are maintained as counter cells for delta
+   convenience but are semantically levels — expose them with the honest
+   type.  (tile.peak_bytes is monotone, so it stays a counter.) *)
+let gauge_typed_counters = [ "cache.bytes"; "tile.bytes" ]
 
 let exposition () =
   let b = Buffer.create 4096 in

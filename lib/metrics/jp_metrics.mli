@@ -165,6 +165,13 @@ module G : sig
       mirroring the [cache.bytes] counter so snapshots sample it over
       time.  Registered as ["cache.resident_bytes"]. *)
 
+  val tile_bytes : gauge
+  (** Resident operand-tile footprint of the tiled heavy-part product
+      (sum across live tile stores), mirroring the [tile.bytes] counter
+      the same way {!cache_bytes} mirrors [cache.bytes].  Registered as
+      ["tile.resident_bytes"]; snapshots carry it into the OpenMetrics
+      exposition and the Chrome-trace counter lanes. *)
+
   val brownout : gauge
   (** 1 while the {!Jp_service.Overload} controller is in brownout
       (degraded plans forced), 0 otherwise. *)

@@ -129,6 +129,24 @@ module C = struct
   let cache_invalidations = counter "cache.invalidate"
 
   let cache_bytes = counter "cache.bytes"
+
+  (* Tiled heavy-part product (Jp_tile).  build/store_hit/evict count
+     operand-tile traffic through the bounded resident store, product
+     counts output tiles computed; tile.bytes tracks the store's
+     resident footprint like cache.bytes, and tile.peak_bytes is the
+     monotone high-water mark of that footprint (bumped by the increase
+     only, so bench-cell deltas report the peak growth). *)
+  let tile_builds = counter "tile.build"
+
+  let tile_store_hits = counter "tile.store_hit"
+
+  let tile_evictions = counter "tile.evict"
+
+  let tile_products = counter "tile.product"
+
+  let tile_bytes = counter "tile.bytes"
+
+  let tile_peak_bytes = counter "tile.peak_bytes"
 end
 
 let counter_values () =

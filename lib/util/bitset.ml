@@ -64,6 +64,37 @@ let union_into ~dst src =
     Array.unsafe_set d w (Array.unsafe_get d w lor Array.unsafe_get s w)
   done
 
+(* OR [src] into [dst] starting at bit [off].  Payload words are shifted
+   by [off mod 62]; the carry of the last payload word lands in the word
+   after it, which is in bounds because [create] always allocates one
+   spare trailing word and [off + width src <= width dst].  Source bits
+   beyond [width src] are invariantly zero, so no bit beyond
+   [off + width src) can be set. *)
+let union_into_at ~dst off src =
+  if off < 0 || off + src.width > dst.width then
+    invalid_arg "Bitset.union_into_at: range out of bounds";
+  let d = dst.words and s = src.words in
+  let wi = off / bits_per_word and bo = off mod bits_per_word in
+  let payload = (src.width + bits_per_word - 1) / bits_per_word in
+  if bo = 0 then
+    for w = 0 to payload - 1 do
+      Array.unsafe_set d (wi + w)
+        (Array.unsafe_get d (wi + w) lor Array.unsafe_get s w)
+    done
+  else begin
+    let mask = (1 lsl bits_per_word) - 1 in
+    for w = 0 to payload - 1 do
+      let x = Array.unsafe_get s w in
+      if x <> 0 then begin
+        let i = wi + w in
+        Array.unsafe_set d i
+          (Array.unsafe_get d i lor ((x lsl bo) land mask));
+        Array.unsafe_set d (i + 1)
+          (Array.unsafe_get d (i + 1) lor (x lsr (bits_per_word - bo)))
+      end
+    done
+  end
+
 let inter_into ~dst src =
   check_widths dst src "inter_into";
   let d = dst.words and s = src.words in

@@ -36,6 +36,13 @@ val is_empty : t -> bool
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] ORs [src] into [dst].  Widths must match. *)
 
+val union_into_at : dst:t -> int -> t -> unit
+(** [union_into_at ~dst off src] ORs [src] into [dst] with its bit 0
+    landing at position [off] ([off + width src <= width dst]).  The
+    word-offset blit behind the tiled matrix product: a tile row merges
+    into the full result row at its column-block offset without
+    per-bit iteration. *)
+
 val inter_into : dst:t -> t -> unit
 (** [inter_into ~dst src] ANDs [src] into [dst].  Widths must match. *)
 

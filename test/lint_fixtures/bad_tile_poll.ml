@@ -1,0 +1,10 @@
+(* positive fixture: hot-poll — per-word obs/cancel traffic inside a
+   tile kernel (depth 2: inner-block loop x word loop) *)
+let tile_kernel cancel (blocks : int array array) =
+  for k = 0 to Array.length blocks - 1 do
+    Array.iter
+      (fun w ->
+        Jp_obs.incr Jp_obs.C.tile_products;
+        if Jp_util.Cancel.is_cancelled cancel then ignore w)
+      blocks.(k)
+  done

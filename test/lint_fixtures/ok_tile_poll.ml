@@ -1,0 +1,12 @@
+(* negative fixture: hot-poll — the tile-kernel cadence: poll and bump
+   once per tile, accumulate the word work locally and publish one bulk
+   delta at the tile boundary *)
+let tile_kernel cancel (tiles : int array array) =
+  Array.iter
+    (fun tile ->
+      if not (Jp_util.Cancel.is_cancelled cancel) then begin
+        let words = ref 0 in
+        Array.iter (fun w -> words := !words + w) tile;
+        Jp_obs.add Jp_obs.C.mm_bool_word_ops !words
+      end)
+    tiles

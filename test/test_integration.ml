@@ -419,6 +419,71 @@ let test_cached_cq_agrees () =
       done)
     cq_pool
 
+(* Tiled variants join the matrix: with a [?tile] config forcing the
+   heavy product through Jp_tile (tiny tiles + a budget small enough to
+   evict mid-product), boolean and counted projections must stay
+   bit-equal to the untiled engines — alone and stacked under the
+   guarded / cancelled / cached capabilities. *)
+let tiny_tile = Jp_tile.config ~tile_bits:4 ~budget_bytes:8192 ~force:true ()
+
+let test_tiled_two_path_agrees () =
+  let matrix = Joinproj.Two_path.Matrix in
+  List.iter
+    (fun name ->
+      let ds = Presets.to_string name in
+      let r = small name in
+      let reference = Joinproj.Two_path.project ~strategy:matrix ~r ~s:r () in
+      let check label out =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s on %s" label ds)
+          true (Pairs.equal reference out)
+      in
+      check "tiled"
+        (Joinproj.Two_path.project ~strategy:matrix ~tile:tiny_tile ~r ~s:r ());
+      check "tiled 4 domains"
+        (Joinproj.Two_path.project ~domains:4 ~strategy:matrix ~tile:tiny_tile
+           ~r ~s:r ());
+      List.iter
+        (fun f ->
+          check
+            (Printf.sprintf "tiled guarded x%g" f)
+            (Joinproj.Two_path.project ~strategy:matrix ~guard:(guard_of f)
+               ~tile:tiny_tile ~r ~s:r ()))
+        guard_factors;
+      let cancel = Jp_util.Cancel.create () in
+      check "tiled live-cancel"
+        (Joinproj.Two_path.project ~strategy:matrix ~cancel ~tile:tiny_tile ~r
+           ~s:r ());
+      let cache = Jp_cache.create () in
+      for pass = 1 to 2 do
+        check
+          (Printf.sprintf "tiled cached pass %d" pass)
+          (Joinproj.Two_path.project ~strategy:matrix
+             ~memo:(Jp_cache.two_path_memo cache ~r ~s:r)
+             ~tile:tiny_tile ~r ~s:r ())
+      done;
+      let counted_ref =
+        Joinproj.Two_path.project_counts ~strategy:matrix ~r ~s:r ()
+      in
+      let check_counted label out =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s on %s" label ds)
+          true
+          (Jp_relation.Counted_pairs.equal counted_ref out)
+      in
+      check_counted "tiled counts"
+        (Joinproj.Two_path.project_counts ~strategy:matrix ~tile:tiny_tile ~r
+           ~s:r ());
+      let ccache = Jp_cache.create () in
+      for pass = 1 to 2 do
+        check_counted
+          (Printf.sprintf "tiled cached counts pass %d" pass)
+          (Joinproj.Two_path.project_counts ~strategy:matrix
+             ~memo:(Jp_cache.two_path_memo ccache ~r ~s:r)
+             ~tile:tiny_tile ~r ~s:r ())
+      done)
+    Presets.all
+
 let test_ordered_consistent_with_unordered () =
   let r = small Presets.Words in
   let c = 2 in
@@ -442,6 +507,7 @@ let suite =
     Alcotest.test_case "served two-path agrees" `Quick test_served_two_path_agrees;
     Alcotest.test_case "open-loop served agrees" `Quick test_open_loop_served_agrees;
     Alcotest.test_case "cached engines agree" `Quick test_cached_engines_agree;
+    Alcotest.test_case "tiled two-path agrees" `Quick test_tiled_two_path_agrees;
     Alcotest.test_case "cq engine = brute force" `Quick test_cq_engine_agrees_with_brute;
     Alcotest.test_case "guarded cq agrees" `Quick test_guarded_cq_agrees;
     Alcotest.test_case "cancelled cq agrees" `Quick test_cancelled_cq_agrees;

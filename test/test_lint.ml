@@ -92,6 +92,10 @@ let suite =
     clean "domain-unsafe-global" "ok_global";
     fires "hot-poll" "bad_hot_poll";
     clean "hot-poll" "ok_hot_poll";
+    Alcotest.test_case "hot-poll fires on per-word tile traffic" `Quick
+      (check_fires "hot-poll" "bad_tile_poll");
+    Alcotest.test_case "hot-poll negative on per-tile cadence" `Quick
+      (check_clean "hot-poll" "ok_tile_poll");
     Alcotest.test_case "hot-poll fires on Jp_metrics" `Quick
       (check_fires "hot-poll" "bad_metrics_poll");
     Alcotest.test_case "hot-poll negative on Jp_metrics.Local" `Quick

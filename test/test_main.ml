@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.suite);
       ("parallel", Test_parallel.suite);
       ("matrix", Test_matrix.suite);
+      ("tile", Test_tile.suite);
       ("relation", Test_relation.suite);
       ("wcoj", Test_wcoj.suite);
       ("core", Test_core.suite);

@@ -49,8 +49,9 @@ let test_intmat_mul_parallel () =
 
 let test_intmat_dim_mismatch () =
   let a = Intmat.create ~rows:2 ~cols:3 and b = Intmat.create ~rows:4 ~cols:2 in
-  Alcotest.check_raises "mismatch" (Invalid_argument "Intmat.mul: dimension mismatch")
-    (fun () -> ignore (Intmat.mul a b))
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Intmat.mul: dimension mismatch (2x3 . 4x2)") (fun () ->
+      ignore (Intmat.mul a b))
 
 let bool_of_int m =
   let rows, cols = Intmat.dims m in
@@ -116,8 +117,15 @@ let test_count_product_parallel () =
 let test_count_product_mismatch () =
   let a = Boolmat.create ~rows:2 ~cols:3 and b = Boolmat.create ~rows:2 ~cols:4 in
   Alcotest.check_raises "inner dim"
-    (Invalid_argument "Boolmat.count_product: inner dim mismatch") (fun () ->
+    (Invalid_argument
+       "Boolmat.count_product: inner dim mismatch (2x3 . (2x4)T)") (fun () ->
       ignore (Boolmat.count_product a b))
+
+let test_boolmat_mul_mismatch () =
+  let a = Boolmat.create ~rows:2 ~cols:3 and b = Boolmat.create ~rows:5 ~cols:4 in
+  Alcotest.check_raises "dims in message"
+    (Invalid_argument "Boolmat.mul: dimension mismatch (2x3 . 5x4)") (fun () ->
+      ignore (Boolmat.mul a b))
 
 let test_dense_mul () =
   let a = Dense.of_arrays [| [| 1.0; 2.0 |]; [| 0.0; 3.0 |] |] in
@@ -162,6 +170,7 @@ let suite =
     Alcotest.test_case "intmat mul parallel" `Quick test_intmat_mul_parallel;
     Alcotest.test_case "intmat dim mismatch" `Quick test_intmat_dim_mismatch;
     Alcotest.test_case "boolmat mul" `Quick test_boolmat_mul;
+    Alcotest.test_case "boolmat mul mismatch" `Quick test_boolmat_mul_mismatch;
     Alcotest.test_case "boolmat mul parallel" `Quick test_boolmat_parallel;
     Alcotest.test_case "boolmat adjacency" `Quick test_boolmat_adjacency;
     Alcotest.test_case "count product" `Quick test_count_product;

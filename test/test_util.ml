@@ -36,6 +36,39 @@ let test_bitset_ops () =
   Bitset.inter_into ~dst:i b;
   check "inter" [ 1; 150 ] (Bitset.to_list i)
 
+let test_bitset_union_into_at () =
+  (* Offset straddles word boundaries (62 does not divide 100). *)
+  let dst = Bitset.of_sorted_array 300 [| 0; 99; 250 |] in
+  let src = Bitset.of_sorted_array 70 [| 0; 5; 61; 62; 69 |] in
+  Bitset.union_into_at ~dst 100 src;
+  check "shifted union" [ 0; 99; 100; 105; 161; 162; 169; 250 ]
+    (Bitset.to_list dst);
+  (* Flush against the end of dst: the carry write must stay in bounds. *)
+  let dst2 = Bitset.create 300 in
+  Bitset.union_into_at ~dst:dst2 230 src;
+  check "flush right" [ 230; 235; 291; 292; 299 ] (Bitset.to_list dst2);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Bitset.union_into_at: range out of bounds") (fun () ->
+      Bitset.union_into_at ~dst:dst2 231 src)
+
+let prop_union_into_at =
+  QCheck.Test.make ~name:"union_into_at = shifted set union" ~count:300
+    QCheck.(
+      triple (int_bound 120) (small_list (int_bound 80))
+        (small_list (int_bound 200)))
+    (fun (off, src_l, dst_l) ->
+      let src = Bitset.create 81 in
+      List.iter (Bitset.set src) src_l;
+      let dst = Bitset.create (off + 81 + 40) in
+      let dst_l = List.filter (fun p -> p < Bitset.width dst) dst_l in
+      List.iter (Bitset.set dst) dst_l;
+      let expect =
+        List.sort_uniq Stdlib.compare
+          (dst_l @ List.map (fun p -> p + off) src_l)
+      in
+      Bitset.union_into_at ~dst off src;
+      Bitset.to_list dst = expect)
+
 let prop_bitset_matches_model =
   QCheck.Test.make ~name:"bitset agrees with a bool-array model" ~count:200
     QCheck.(pair (int_bound 300) (small_list (int_bound 300)))
@@ -217,6 +250,8 @@ let suite =
     Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
     Alcotest.test_case "bitset bounds" `Quick test_bitset_bounds;
     Alcotest.test_case "bitset ops" `Quick test_bitset_ops;
+    Alcotest.test_case "bitset union_into_at" `Quick test_bitset_union_into_at;
+    QCheck_alcotest.to_alcotest prop_union_into_at;
     QCheck_alcotest.to_alcotest prop_bitset_matches_model;
     QCheck_alcotest.to_alcotest prop_intersect;
     QCheck_alcotest.to_alcotest prop_union_difference;
