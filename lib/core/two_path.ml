@@ -312,8 +312,8 @@ let partitioned_project ?cancel ?tile ~phases ~domains ~strategy ~memo ~r ~s
           if domains <= 1 then worker 0 nx
           else begin
             let per = (nx + domains - 1) / domains in
-            Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0
-              ~hi:nx worker
+            Jp_parallel.Pool.parallel_for_ranges ?cancel ~domains ~chunk:per
+              ~lo:0 ~hi:nx worker
           end;
           check_cancel cancel;
           Pairs.of_rows_unchecked rows))
@@ -497,8 +497,8 @@ let guarded_project ?cancel ?tile ~g ~prep ~domains ~strategy ~memo ~phases ~r
                     done
                 in
                 let per = (nx - lo + domains - 1) / domains in
-                Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo
-                  ~hi:nx worker;
+                Jp_parallel.Pool.parallel_for_ranges ?cancel ~domains
+                  ~chunk:per ~lo ~hi:nx worker;
                 check_cancel cancel;
                 for a = lo to nx - 1 do
                   produced := !produced + Array.length rows.(a)
@@ -814,8 +814,8 @@ let counted_partitioned ?cancel ?tile ?checkpoint ~phases ~domains ~memo ~r ~s
           if domains <= 1 then worker 0 nx
           else begin
             let per = (nx + domains - 1) / domains in
-            Jp_parallel.Pool.parallel_for_ranges ~domains ~chunk:per ~lo:0
-              ~hi:nx worker
+            Jp_parallel.Pool.parallel_for_ranges ?cancel ~domains ~chunk:per
+              ~lo:0 ~hi:nx worker
           end;
           check_cancel cancel;
           (Counted_pairs.of_rows_unchecked rows, use_matrix)))

@@ -16,23 +16,23 @@ type machine = {
 
 let measure_ts n =
   let a = Array.init n (fun i -> i) in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Jp_util.Timer.now () in
   let s = ref 0 in
   for i = 0 to n - 1 do
     s := !s + Array.unsafe_get a i
   done;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Jp_util.Timer.now () -. t0 in
   Sys.opaque_identity !s |> ignore;
   dt /. float_of_int n
 
 let measure_tm n =
   (* Allocate n small (4-word ≈ 32 byte) blocks. *)
-  let t0 = Unix.gettimeofday () in
+  let t0 = Jp_util.Timer.now () in
   let keep = ref [] in
   for i = 0 to n - 1 do
     if i land 1023 = 0 then keep := [] else keep := Array.make 3 i :: !keep
   done;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Jp_util.Timer.now () -. t0 in
   Sys.opaque_identity !keep |> ignore;
   dt /. float_of_int n
 
@@ -53,7 +53,7 @@ let measure_ti n =
   let stamps = Array.make nz (-1) in
   let buf = Array.make nz 0 in
   let tuples = ref 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Jp_util.Timer.now () in
   for a = 0 to nx - 1 do
     let len = ref 0 in
     Array.iter
@@ -72,7 +72,7 @@ let measure_ti n =
     Jp_util.Intsort.sort group;
     Sys.opaque_identity group |> ignore
   done;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Jp_util.Timer.now () -. t0 in
   dt /. float_of_int (max 1 !tuples)
 
 let random_boolmat rng ~rows ~cols ~density =
@@ -88,9 +88,9 @@ let measure_count_word p =
   let rng = Jp_util.Rng.create 7 in
   let a = random_boolmat rng ~rows:p ~cols:p ~density:0.6
   and b = random_boolmat rng ~rows:p ~cols:p ~density:0.6 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Jp_util.Timer.now () in
   let c = Boolmat.count_product a b in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Jp_util.Timer.now () -. t0 in
   Sys.opaque_identity c |> ignore;
   let words = float_of_int (p * p) *. (float_of_int p /. 62.0) in
   dt /. words
@@ -99,9 +99,9 @@ let measure_bool_word p =
   let rng = Jp_util.Rng.create 11 in
   let a = random_boolmat rng ~rows:p ~cols:p ~density:0.6
   and b = random_boolmat rng ~rows:p ~cols:p ~density:0.6 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Jp_util.Timer.now () in
   let c = Boolmat.mul a b in
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Jp_util.Timer.now () -. t0 in
   Sys.opaque_identity c |> ignore;
   let words = 0.6 *. float_of_int (p * p) *. (float_of_int p /. 62.0) in
   dt /. words

@@ -1,0 +1,10 @@
+(* capability-drop fixture: [caller] accepts ?cancel and calls [callee]
+   — which also accepts it — without forwarding, so the compiler fills
+   the hole with a ghost None and the token never reaches the leaf. *)
+let callee ?cancel ~n () =
+  ignore cancel;
+  n + 1
+
+let caller ?cancel ~n () =
+  ignore cancel;
+  callee ~n ()

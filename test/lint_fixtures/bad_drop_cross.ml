@@ -1,0 +1,6 @@
+(* cross-file capability-drop: the callee lives in a sibling fixture
+   module, so the finding only appears when both files are linted into
+   one call graph. *)
+let caller ?cancel ~n () =
+  ignore cancel;
+  Bad_capability_drop.callee ~n ()

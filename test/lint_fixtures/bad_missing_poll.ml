@@ -1,0 +1,18 @@
+(* missing-poll fixture: both functions accept a capability and loop,
+   but neither body nor any reachable callee ever polls it — the hook
+   is dead weight and a stress run can hang in the loop. *)
+let spin ?cancel ~n () =
+  ignore cancel;
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    s := !s + i
+  done;
+  !s
+
+let spin_guarded ?guard ~n () =
+  ignore guard;
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    s := !s + i
+  done;
+  !s

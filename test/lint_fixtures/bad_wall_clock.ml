@@ -1,0 +1,8 @@
+(* wall-clock fixture: raw clock reads in (what the tests present as)
+   library code — seeded runs must not depend on wall time. *)
+let elapsed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let cpu_seconds () = Sys.time ()

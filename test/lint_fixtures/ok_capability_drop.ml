@@ -1,0 +1,17 @@
+(* capability-drop negatives: forwarding, an explicit [?cancel:None]
+   (deliberate, not silent) and a partial application that never
+   reaches the capability parameter. *)
+let callee ?cancel ~n () =
+  ignore cancel;
+  n + 1
+
+let forwards ?cancel ~n () = callee ?cancel ~n ()
+
+let deliberate ?cancel ~n () =
+  ignore cancel;
+  callee ?cancel:None ~n ()
+
+let partial ?cancel ~n () =
+  ignore cancel;
+  let k = callee ~n in
+  k ()

@@ -1,0 +1,23 @@
+(* missing-poll negatives: [direct] polls in its own loop body; [outer]
+   loops but the poll lives in a callee — interprocedural reachability
+   must follow the call edge and stay silent. *)
+let direct ?cancel ~n () =
+  let s = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    (match cancel with Some c -> Jp_util.Cancel.check c | None -> ());
+    s := !s + !i;
+    incr i
+  done;
+  !s
+
+let poll_step ?cancel x =
+  (match cancel with Some c -> Jp_util.Cancel.check c | None -> ());
+  x + 1
+
+let outer ?cancel ~n () =
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    s := !s + poll_step ?cancel i
+  done;
+  !s

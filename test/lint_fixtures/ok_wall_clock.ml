@@ -1,0 +1,6 @@
+(* wall-clock negative: all timing flows through the sanctioned
+   [Jp_util.Timer] wrapper. *)
+let elapsed f =
+  let t0 = Jp_util.Timer.now () in
+  let x = f () in
+  (x, Jp_util.Timer.now () -. t0)

@@ -1,0 +1,7 @@
+(* stale-suppression fixture: the first allow names a rule this
+   expression does not violate, so it suppresses nothing; the second is
+   live (it really covers a random finding) and must not be flagged. *)
+let fine = (42 [@jp.lint.allow "random" "was a Random.int call once"])
+
+let noisy () =
+  (Random.int 10 [@jp.lint.allow "random" "fixture: a live suppression"])

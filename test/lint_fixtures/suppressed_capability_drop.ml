@@ -1,0 +1,10 @@
+(* suppressed interprocedural finding: the drop is real but justified,
+   so it must surface as suppressed (never blocking) and its allow must
+   count as used — not stale. *)
+let callee ?cancel ~n () =
+  ignore cancel;
+  n + 1
+
+let caller ?cancel ~n () =
+  ignore cancel;
+  (callee ~n () [@jp.lint.allow "capability-drop" "callee ignores the token today"])

@@ -1,0 +1,10 @@
+(* binding-level suppression of an interprocedural rule: the allow
+   rides on the [let] and covers the whole function. *)
+let spin ?cancel ~n () =
+  ignore cancel;
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    s := !s + i
+  done;
+  !s
+[@@jp.lint.allow "missing-poll" "fixture: driver polls between chunks"]

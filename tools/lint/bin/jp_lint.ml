@@ -2,19 +2,22 @@
 
    Reads the .cmt files dune produced (run via `dune build @lint`, which
    depends on @check so they exist), walks each Typedtree with resolved
-   names, and enforces the repo rules CLAUDE.md states in prose.  Exit
-   status: 0 clean, 1 unsuppressed findings, 2 usage error. *)
+   names, and enforces the repo rules CLAUDE.md states in prose.  Intra
+   rules run during the walk; the same traversal harvests per-function
+   capability signatures and call edges, and the interprocedural rules
+   (capability-drop, missing-poll) evaluate once over the merged
+   whole-program call graph.  Exit status: 0 clean, 1 unsuppressed
+   findings, 2 usage error. *)
 
 module Driver = Jp_lint_core.Lint_driver
 module Registry = Jp_lint_core.Lint_registry
 module Report = Jp_lint_core.Lint_report
-module Rule = Jp_lint_core.Lint_rule
 
 let usage =
   "jp_lint [options] [dirs...]\n\
-   Lints every .cmt under dirs (default: lib bin bench test, resolved\n\
-   relative to the dune build context this runs in).\n\n\
-   \  --json               emit the machine-readable report (schema v1)\n\
+   Lints every .cmt under dirs (default: lib bin bench test tools,\n\
+   resolved relative to the dune build context this runs in).\n\n\
+   \  --json               emit the machine-readable report (schema v2)\n\
    \  --baseline FILE      demote findings listed in FILE to warnings\n\
    \  --rules IDS          comma-separated rule ids to run (default all)\n\
    \  --disable IDS        comma-separated rule ids to skip\n\
@@ -58,8 +61,8 @@ let () =
       parse rest
     | "--list-rules" :: _ ->
       List.iter
-        (fun (r : Rule.t) -> Printf.printf "%-22s %s\n" r.id r.doc)
-        Registry.all;
+        (fun (id, doc) -> Printf.printf "%-22s %s\n" id doc)
+        Registry.catalog;
       exit 0
     | ("--help" | "-h") :: _ ->
       print_string usage;
@@ -77,7 +80,9 @@ let () =
     die
       (Printf.sprintf "jp_lint: unknown rule id(s): %s (try --list-rules)\n"
          (String.concat ", " bad)));
-  let dirs = match !dirs with [] -> [ "lib"; "bin"; "bench"; "test" ] | ds -> ds in
+  let dirs =
+    match !dirs with [] -> [ "lib"; "bin"; "bench"; "test"; "tools" ] | ds -> ds
+  in
   (match List.filter (fun d -> not (Sys.file_exists d)) dirs with
   | [] -> ()
   | missing ->
@@ -86,8 +91,8 @@ let () =
          "jp_lint: no such directory: %s (run from the dune build context, or \
           via `dune build @lint`)\n"
          (String.concat ", " missing)));
-  let rules = Registry.select ~only:!only ~disable:!disable () in
-  let findings = Driver.lint_dirs ~excludes:!excludes ~rules dirs in
+  let selection = Registry.select ~only:!only ~disable:!disable () in
+  let findings = Driver.lint_dirs ~excludes:!excludes ~selection dirs in
   let findings =
     match !baseline with
     | None -> findings

@@ -12,18 +12,41 @@ let domain_safe_attr = "jp.domain_safe"
 
 let bad_suppression_rule = "bad-suppression"
 
+let stale_suppression_rule = "stale-suppression"
+
+(* One [@jp.lint.allow] occurrence.  [used] flips when the allow actually
+   suppresses a finding — intra rules mark it at emit time, the
+   interprocedural pass marks the entries it captured during harvest —
+   and the driver's stale-suppression sweep flags the ones still false. *)
+type allow = {
+  a_rule : string;
+  a_why : string;
+  a_loc : Location.t;
+  mutable a_used : bool;
+}
+
 type t = {
   source : string;
   kind : kind;
   has_mli : bool;
   mutable aliases : (string * string) list;
-  mutable allow_stack : (string * string) list list;
+  mutable allow_stack : allow list list;
+  mutable allows : allow list;
   mutable loop_depth : int;
   mutable findings : Lint_finding.t list;
 }
 
 let create ~source ~kind ~has_mli =
-  { source; kind; has_mli; aliases = []; allow_stack = []; loop_depth = 0; findings = [] }
+  {
+    source;
+    kind;
+    has_mli;
+    aliases = [];
+    allow_stack = [];
+    allows = [];
+    loop_depth = 0;
+    findings = [];
+  }
 
 let classify source =
   let parts = String.split_on_char '/' source in
@@ -79,6 +102,15 @@ let normalize t name =
 
 let add_alias t ~name ~target = t.aliases <- (name, normalize t target) :: t.aliases
 
+(* Scoped variant for [let module M = ... in ...]: the alias holds while
+   [f] (the body traversal) runs, then the list is restored — inner
+   bindings shadow outer ones because [normalize] takes the most recent
+   entry. *)
+let with_alias t ~name ~target f =
+  let saved = t.aliases in
+  t.aliases <- (name, normalize t target) :: t.aliases;
+  Fun.protect ~finally:(fun () -> t.aliases <- saved) f
+
 let ident_of_expr t (e : Typedtree.expression) =
   match e.exp_desc with
   | Texp_ident (path, _, _) -> Some (normalize t (Path.name path))
@@ -87,18 +119,24 @@ let ident_of_expr t (e : Typedtree.expression) =
 (* ------------------------------------------------------------------ *)
 (* findings and suppression                                            *)
 
-let active_allow t rule =
+let find_allow t rule =
   List.find_map
-    (fun allows ->
-      List.find_map (fun (r, why) -> if r = rule then Some why else None) allows)
+    (fun allows -> List.find_opt (fun a -> a.a_rule = rule) allows)
     t.allow_stack
+
+let active_allow t rule =
+  match find_allow t rule with
+  | None -> None
+  | Some a ->
+    a.a_used <- true;
+    Some a.a_why
 
 let emit t ~rule ~loc ~message ~hint =
   let pos = loc.Location.loc_start in
   let f =
     Lint_finding.v ~rule ~file:t.source ~line:pos.Lexing.pos_lnum
       ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
-      ~message ~hint ~suppressed:(active_allow t rule)
+      ~message ~hint ~suppressed:(active_allow t rule) ()
   in
   t.findings <- f :: t.findings
 
@@ -135,7 +173,24 @@ let allows_of_attributes t (attrs : Parsetree.attributes) =
       if a.attr_name.txt <> allow_attr then None
       else
         match strings_of_payload a.attr_payload with
-        | Some [ rule; why ] when String.trim why <> "" -> Some (rule, why)
+        | Some [ rule; why ] when String.trim why <> "" -> (
+          (* Some rules re-scan attributes on their own (e.g. the
+             domain-safety structure walk); registering by (rule, loc)
+             keeps one shared record per source attribute so a use seen
+             on either path marks the same entry and the stale sweep
+             never double-counts. *)
+          match
+            List.find_opt
+              (fun x -> x.a_rule = rule && x.a_loc = a.attr_loc)
+              t.allows
+          with
+          | Some existing -> Some existing
+          | None ->
+            let entry =
+              { a_rule = rule; a_why = why; a_loc = a.attr_loc; a_used = false }
+            in
+            t.allows <- entry :: t.allows;
+            Some entry)
         | _ ->
           emit t ~rule:bad_suppression_rule ~loc:a.attr_loc
             ~message:

@@ -3,7 +3,10 @@
 
     One context is created per [.cmt] file; rules receive it in every
     hook and report through {!emit}, which consults the suppression
-    stack maintained by the walker ({!Lint_walk}). *)
+    stack maintained by the walker ({!Lint_walk}).  Every
+    [[@jp.lint.allow]] occurrence is also accumulated in {!field-allows}
+    with a usage bit, so the driver's stale-suppression sweep can flag
+    the ones that suppressed nothing. *)
 
 type kind =
   | Lib of string  (** [lib/<sub>/...]; the argument is the subdirectory *)
@@ -24,14 +27,27 @@ val bad_suppression_rule : string
 (** Meta-rule id emitted for malformed or justification-free
     suppression attributes. *)
 
+val stale_suppression_rule : string
+(** Meta-rule id emitted for a well-formed [[@jp.lint.allow]] that
+    suppressed nothing on the current run. *)
+
+type allow = {
+  a_rule : string;
+  a_why : string;
+  a_loc : Location.t;
+  mutable a_used : bool;  (** flipped when the allow suppresses a finding *)
+}
+
 type t = {
   source : string;  (** workspace-relative source path *)
   kind : kind;
   has_mli : bool;  (** a [.cmti] sits next to the [.cmt] *)
   mutable aliases : (string * string) list;
       (** file-top module aliases, name → normalized target path *)
-  mutable allow_stack : (string * string) list list;
+  mutable allow_stack : allow list list;
       (** active [[@jp.lint.allow]] scopes, innermost first *)
+  mutable allows : allow list;
+      (** every well-formed allow seen in the file (stale sweep input) *)
   mutable loop_depth : int;  (** syntactic loop nesting at the cursor *)
   mutable findings : Lint_finding.t list;  (** reverse emission order *)
 }
@@ -47,25 +63,46 @@ val normalize : t -> string -> string
     module aliases ([Cancel.check] → [Jp_util.Cancel.check]).  Rules
     match against these canonical dotted names only. *)
 
+val demangle : string -> string
+(** Just the mangling rewrite ([Jp_util__Cancel] → [Jp_util.Cancel]),
+    without alias expansion — for names that are not file-relative,
+    e.g. a [.cmt]'s own module name. *)
+
 val add_alias : t -> name:string -> target:string -> unit
 (** Record [module name = target]; [target] is normalized on the way in
     so alias chains resolve fully. *)
 
+val with_alias : t -> name:string -> target:string -> (unit -> 'a) -> 'a
+(** [with_alias t ~name ~target f] runs [f] with [module name = target]
+    in scope, restoring the alias list afterwards — the walker uses it
+    for [let module M = ... in ...] expressions so names like
+    [Guard.check_budget] normalize inside the body. *)
+
 val ident_of_expr : t -> Typedtree.expression -> string option
 (** Normalized path of an identifier expression, [None] otherwise. *)
+
+val find_allow : t -> string -> allow option
+(** Innermost active allow for [rule], without marking it used — the
+    harvest pass captures entries this way and marks them only if the
+    interprocedural evaluation actually emits the finding. *)
+
+val active_allow : t -> string -> string option
+(** Justification of the innermost active allow for [rule], marking the
+    entry used (intra-rule emission path). *)
 
 val emit :
   t -> rule:string -> loc:Location.t -> message:string -> hint:string -> unit
 (** Record a finding; it is born suppressed when an enclosing
     [[@jp.lint.allow]] for the same rule is on the stack. *)
 
-val allows_of_attributes : t -> Parsetree.attributes -> (string * string) list
-(** [(rule, justification)] pairs from [[@jp.lint.allow]] attributes;
-    malformed ones emit a {!bad_suppression_rule} finding instead. *)
+val allows_of_attributes : t -> Parsetree.attributes -> allow list
+(** Allow entries from [[@jp.lint.allow]] attributes, registered in
+    {!field-allows}; malformed ones emit a {!bad_suppression_rule}
+    finding instead. *)
 
 val domain_safe_of_attributes : t -> Parsetree.attributes -> string option
 (** Justification from a [[@jp.domain_safe]] attribute, if present; a
     missing/empty justification emits {!bad_suppression_rule}. *)
 
-val with_allows : t -> (string * string) list -> (unit -> 'a) -> 'a
+val with_allows : t -> allow list -> (unit -> 'a) -> 'a
 (** Run [f] with the given suppressions pushed onto the stack. *)

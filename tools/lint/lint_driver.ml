@@ -1,3 +1,6 @@
+module Ctx = Lint_ctx
+module F = Lint_finding
+
 (* Deliberate rule violations compiled as test fixtures; the repo-wide
    run must not trip over them (the fixture tests lint them explicitly
    with a kind override). *)
@@ -9,16 +12,28 @@ let skip_source ~excludes source =
   || Filename.check_suffix source ".mli"
   || List.exists (fun ex -> Lint_util.contains_substring source ex) excludes
 
-let lint_structure ~source ~kind ~has_mli ~rules str =
-  let ctx = Lint_ctx.create ~source ~kind ~has_mli in
-  Lint_walk.collect_aliases ctx str;
-  let rules = List.filter (fun (r : Lint_rule.t) -> r.applies kind) rules in
-  Lint_walk.walk ctx rules str;
-  List.rev ctx.findings
+(* ------------------------------------------------------------------ *)
+(* pass 1: per-file walk — intra findings + signature/callgraph harvest *)
 
-let lint_cmt ?kind ?(excludes = default_excludes) ~rules path =
+type filed = {
+  fd_ctx : Ctx.t;
+  fd_fns : Lint_callgraph.fn list;
+}
+
+let walk_structure ~source ~kind ~has_mli ~modname
+    ~(selection : Lint_registry.selection) str =
+  let ctx = Ctx.create ~source ~kind ~has_mli in
+  Lint_walk.collect_aliases ctx str;
+  let rules =
+    List.filter (fun (r : Lint_rule.t) -> r.applies kind) selection.intra
+  in
+  let h = Lint_callgraph.harvester ~modname ctx in
+  Lint_walk.walk ~hooks:h.h_hooks ctx rules str;
+  { fd_ctx = ctx; fd_fns = h.h_fns () }
+
+let walk_cmt ?kind ?(excludes = default_excludes) ~selection path =
   match Cmt_format.read_cmt path with
-  | exception _ -> []
+  | exception _ -> None
   | info -> (
     match info.cmt_annots with
     | Implementation str ->
@@ -27,12 +42,80 @@ let lint_cmt ?kind ?(excludes = default_excludes) ~rules path =
       let skip =
         match kind with Some _ -> false | None -> skip_source ~excludes source
       in
-      if skip then []
+      if skip then None
       else
-        let kind = match kind with Some k -> k | None -> Lint_ctx.classify source in
+        let kind = match kind with Some k -> k | None -> Ctx.classify source in
         let has_mli = Sys.file_exists (Filename.remove_extension path ^ ".cmti") in
-        lint_structure ~source ~kind ~has_mli ~rules str
-    | _ -> [])
+        let modname = Ctx.demangle info.cmt_modname in
+        Some (walk_structure ~source ~kind ~has_mli ~modname ~selection str)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* pass 2: whole-program rules; pass 3: stale-suppression sweep        *)
+
+let stale_sweep ~(selection : Lint_registry.selection) fileds =
+  if not (List.mem Ctx.stale_suppression_rule selection.meta) then []
+  else
+    let enabled rule =
+      List.exists (fun (r : Lint_rule.t) -> r.id = rule) selection.intra
+      || List.exists (fun (g : Lint_global.t) -> g.gid = rule) selection.interproc
+    in
+    List.concat_map
+      (fun fd ->
+        List.filter_map
+          (fun (a : Ctx.allow) ->
+            if a.a_used || not (enabled a.a_rule) then None
+            else
+              let pos = a.a_loc.Location.loc_start in
+              Some
+                (F.v ~rule:Ctx.stale_suppression_rule ~file:fd.fd_ctx.Ctx.source
+                   ~line:pos.Lexing.pos_lnum
+                   ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+                   ~message:
+                     (Printf.sprintf
+                        "[@%s \"%s\"] suppresses nothing on this run"
+                        Ctx.allow_attr a.a_rule)
+                   ~hint:
+                     "the justified violation is gone — delete the attribute \
+                      (or fix the rule id) so suppressions stay honest"
+                   ~suppressed:None ()))
+          fd.fd_ctx.Ctx.allows)
+      fileds
+
+let finish ~(selection : Lint_registry.selection) fileds =
+  let program =
+    Lint_callgraph.build (List.concat_map (fun fd -> fd.fd_fns) fileds)
+  in
+  let interproc =
+    List.concat_map
+      (fun (g : Lint_global.t) -> g.grun program)
+      selection.interproc
+  in
+  (* Interprocedural suppressions are marked used above, so the stale
+     sweep must run after. *)
+  let stale = stale_sweep ~selection fileds in
+  let intra =
+    List.concat_map (fun fd -> List.rev fd.fd_ctx.Ctx.findings) fileds
+  in
+  let keep (f : F.t) =
+    if f.rule = Ctx.bad_suppression_rule then
+      List.mem Ctx.bad_suppression_rule selection.meta
+    else true
+  in
+  List.stable_sort F.compare_by_position
+    (List.filter keep (intra @ interproc @ stale))
+
+(* ------------------------------------------------------------------ *)
+(* entry points                                                        *)
+
+let lint_cmts ?kind ?(excludes = default_excludes) ~selection paths =
+  let fileds =
+    List.filter_map (fun p -> walk_cmt ?kind ~excludes ~selection p) paths
+  in
+  finish ~selection fileds
+
+let lint_cmt ?kind ?(excludes = default_excludes) ~selection path =
+  lint_cmts ?kind ~excludes ~selection [ path ]
 
 let rec find_cmts acc dir =
   match Sys.readdir dir with
@@ -46,7 +129,6 @@ let rec find_cmts acc dir =
         else acc)
       acc entries
 
-let lint_dirs ?(excludes = default_excludes) ~rules dirs =
+let lint_dirs ?(excludes = default_excludes) ~selection dirs =
   let cmts = List.sort String.compare (List.fold_left find_cmts [] dirs) in
-  let findings = List.concat_map (fun cmt -> lint_cmt ~excludes ~rules cmt) cmts in
-  List.sort Lint_finding.compare_by_position findings
+  lint_cmts ~excludes ~selection cmts

@@ -1,5 +1,13 @@
 (** The driver: locate [.cmt] files under the build tree, load each one
-    with [Cmt_format], and run the selected rules over its Typedtree.
+    with [Cmt_format], and evaluate the selected rules in two passes.
+
+    Pass 1 walks each file's Typedtree once, running the intra-procedural
+    rules and harvesting the signature/callgraph facts
+    ({!Lint_callgraph}) from the same traversal.  Pass 2 evaluates the
+    interprocedural rules over the merged whole-program call graph, then
+    sweeps for stale suppressions ([@jp.lint.allow] entries that
+    suppressed nothing).  Findings are emitted sorted by
+    (file, line, col, rule) — the pinned deterministic order.
 
     Names in the tree are {e resolved} (the typechecker already did the
     work), so matching is on canonical paths, not source text.  Dune's
@@ -10,30 +18,31 @@
 val default_excludes : string list
 (** Source-path substrings skipped by default ([test/lint_fixtures/]). *)
 
-val lint_structure :
-  source:string ->
-  kind:Lint_ctx.kind ->
-  has_mli:bool ->
-  rules:Lint_rule.t list ->
-  Typedtree.structure ->
-  Lint_finding.t list
-(** Lint one already-loaded structure (emission order). *)
-
 val lint_cmt :
   ?kind:Lint_ctx.kind ->
   ?excludes:string list ->
-  rules:Lint_rule.t list ->
+  selection:Lint_registry.selection ->
   string ->
   Lint_finding.t list
-(** Lint one [.cmt] file.  [?kind] overrides source-path classification
-    (used by the fixture tests to lint [test/] sources as [Lib]); when
-    given, the exclude list is bypassed.  Unreadable or interface-only
-    cmts yield no findings. *)
+(** Lint one [.cmt] file (full pipeline on a one-file program).
+    [?kind] overrides source-path classification (used by the fixture
+    tests to lint [test/] sources as [Lib]); when given, the exclude
+    list is bypassed.  Unreadable or interface-only cmts yield no
+    findings. *)
+
+val lint_cmts :
+  ?kind:Lint_ctx.kind ->
+  ?excludes:string list ->
+  selection:Lint_registry.selection ->
+  string list ->
+  Lint_finding.t list
+(** Lint several [.cmt] files as one program — interprocedural edges
+    resolve across all of them. *)
 
 val lint_dirs :
   ?excludes:string list ->
-  rules:Lint_rule.t list ->
+  selection:Lint_registry.selection ->
   string list ->
   Lint_finding.t list
-(** Recursively lint every [.cmt] under the given directories; findings
-    are sorted by position for stable reports. *)
+(** Recursively lint every [.cmt] under the given directories as one
+    program; findings are sorted by (file, line, col, rule). *)

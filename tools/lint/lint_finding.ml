@@ -8,15 +8,22 @@ type t = {
   message : string;
   hint : string;
   suppressed : string option;
+  chain : string list;
   mutable severity : severity;
 }
 
-let v ~rule ~file ~line ~col ~message ~hint ~suppressed =
-  { rule; file; line; col; message; hint; suppressed; severity = Error }
+let v ?(chain = []) ~rule ~file ~line ~col ~message ~hint ~suppressed () =
+  { rule; file; line; col; message; hint; suppressed; chain; severity = Error }
 
 let is_blocking f = f.suppressed = None && f.severity = Error
 
 let compare_by_position a b =
   match String.compare a.file b.file with
-  | 0 -> ( match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | n -> n)
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | n -> n)
+    | n -> n)
   | n -> n

@@ -5,7 +5,11 @@
     so new rules can land warn-only.  A finding carrying a suppression
     justification (from [[@jp.lint.allow "rule" "why"]] or
     [[@jp.domain_safe "why"]]) is recorded but never blocks the build —
-    suppressions stay visible in reports instead of vanishing. *)
+    suppressions stay visible in reports instead of vanishing.
+
+    Interprocedural findings (capability-drop and friends) additionally
+    carry a {!field-chain}: the call path that makes the violation real,
+    outermost caller first.  Intra-procedural findings leave it empty. *)
 
 type severity = Error | Warn
 
@@ -17,10 +21,13 @@ type t = {
   message : string;
   hint : string;  (** how to fix, shown under the finding *)
   suppressed : string option;  (** justification when suppressed *)
+  chain : string list;
+      (** call-chain evidence, caller first (empty for intra rules) *)
   mutable severity : severity;
 }
 
 val v :
+  ?chain:string list ->
   rule:string ->
   file:string ->
   line:int ->
@@ -28,12 +35,15 @@ val v :
   message:string ->
   hint:string ->
   suppressed:string option ->
+  unit ->
   t
-(** Fresh finding at severity {!Error}. *)
+(** Fresh finding at severity {!Error}; [chain] defaults to empty. *)
 
 val is_blocking : t -> bool
 (** [true] iff the finding is an unsuppressed error — the ones that make
     [jp_lint] exit non-zero. *)
 
 val compare_by_position : t -> t -> int
-(** Order by file, then line, then column (stable report output). *)
+(** Order by file, then line, then column, then rule id — the pinned
+    report/[--json] emission order ([--baseline] diffs and CI logs stay
+    stable across runs). *)

@@ -1,0 +1,20 @@
+type t = {
+  gid : string;
+  gdoc : string;
+  grun : Lint_callgraph.program -> Lint_finding.t list;
+}
+
+let v ~id ~doc run = { gid = id; gdoc = doc; grun = run }
+
+let finding ?chain ~rule ~(loc : Location.t) ~file ~message ~hint ~allow () =
+  let pos = loc.Location.loc_start in
+  let suppressed =
+    match (allow : Lint_ctx.allow option) with
+    | None -> None
+    | Some a ->
+      a.Lint_ctx.a_used <- true;
+      Some a.Lint_ctx.a_why
+  in
+  Lint_finding.v ?chain ~rule ~file ~line:pos.Lexing.pos_lnum
+    ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+    ~message ~hint ~suppressed ()

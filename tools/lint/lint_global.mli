@@ -1,0 +1,28 @@
+(** Interprocedural (whole-program) lint rules: evaluated once over the
+    harvested {!Lint_callgraph.program} after every file has been
+    walked, rather than per-expression during the walk. *)
+
+type t = {
+  gid : string;  (** rule id, e.g. ["capability-drop"] *)
+  gdoc : string;
+  grun : Lint_callgraph.program -> Lint_finding.t list;
+}
+
+val v :
+  id:string ->
+  doc:string ->
+  (Lint_callgraph.program -> Lint_finding.t list) ->
+  t
+
+val finding :
+  ?chain:string list ->
+  rule:string ->
+  loc:Location.t ->
+  file:string ->
+  message:string ->
+  hint:string ->
+  allow:Lint_ctx.allow option ->
+  unit ->
+  Lint_finding.t
+(** Build a finding from a harvested location; a captured suppression
+    entry is marked used and becomes the finding's justification. *)

@@ -1,14 +1,31 @@
-(** The rule registry: every shipped rule, plus id-based selection for
+(** The rule registry: every shipped rule — intra-procedural walk rules,
+    interprocedural (whole-program) rules, and the meta rules the
+    suppression machinery emits — plus id-based selection for
     [--rules]/[--disable] and the fixture tests. *)
 
 val all : Lint_rule.t list
-(** Every rule, in documentation order. *)
+(** Every intra-procedural rule, in documentation order. *)
+
+val global : Lint_global.t list
+(** Every interprocedural rule. *)
+
+val meta_ids : string list
+(** [bad-suppression] and [stale-suppression]. *)
+
+val catalog : (string * string) list
+(** [(id, doc)] for every selectable rule, documentation order. *)
 
 val find : string -> Lint_rule.t option
 
 val validate_ids : string list -> string list
 (** The ids in the list that name no known rule. *)
 
-val select : ?only:string list -> ?disable:string list -> unit -> Lint_rule.t list
+type selection = {
+  intra : Lint_rule.t list;
+  interproc : Lint_global.t list;
+  meta : string list;  (** enabled meta rule ids *)
+}
+
+val select : ?only:string list -> ?disable:string list -> unit -> selection
 (** [select ~only ~disable ()] — [only = []] means all rules; [disable]
     is subtracted afterwards. *)

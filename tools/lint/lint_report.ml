@@ -50,6 +50,11 @@ let render_finding (f : F.t) =
     Printf.sprintf "%s:%d:%d [%s] %s: %s" f.file f.line f.col f.rule
       (severity_tag f) f.message
   in
+  let head =
+    match f.chain with
+    | [] -> head
+    | links -> Printf.sprintf "%s\n    chain: %s" head (String.concat " -> " links)
+  in
   match f.suppressed with
   | Some why -> Printf.sprintf "%s\n    allowed: %s" head why
   | None -> Printf.sprintf "%s\n    hint: %s" head f.hint
@@ -96,16 +101,27 @@ let render_text ?(show_suppressed = false) findings =
 
 let json_of_finding (f : F.t) =
   let e = Lint_util.json_escape in
+  (* Schema v2: interprocedural findings carry optional call-chain
+     evidence; intra findings omit the key entirely. *)
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | links ->
+      Printf.sprintf ",\"chain\":[%s]"
+        (String.concat ","
+           (List.map (fun l -> Printf.sprintf "\"%s\"" (e l)) links))
+  in
   Printf.sprintf
-    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\",\"suppressed\":%s}"
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"severity\":\"%s\",\"message\":\"%s\",\"hint\":\"%s\",\"suppressed\":%s%s}"
     (e f.rule) (e f.file) f.line f.col
     (match f.severity with F.Error -> "error" | F.Warn -> "warning")
     (e f.message) (e f.hint)
     (match f.suppressed with None -> "null" | Some why -> Printf.sprintf "\"%s\"" (e why))
+    chain
 
 let render_json findings =
   let s = summarize findings in
   Printf.sprintf
-    "{\n\"version\":1,\n\"findings\":[\n%s\n],\n\"summary\":{\"errors\":%d,\"warnings\":%d,\"suppressed\":%d,\"files\":%d}\n}"
+    "{\n\"version\":2,\n\"findings\":[\n%s\n],\n\"summary\":{\"errors\":%d,\"warnings\":%d,\"suppressed\":%d,\"files\":%d}\n}"
     (String.concat ",\n" (List.map json_of_finding findings))
     s.errors s.warnings s.suppressed s.files

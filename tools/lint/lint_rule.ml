@@ -19,6 +19,10 @@ let v ?(applies = fun _ -> true) ?(on_expr = nothing_expr)
 
 let lib_only = function Lint_ctx.Lib _ -> true | _ -> false
 
+(* Self-lint scope: house-style rules the linter's own sources must
+   satisfy too (the @lint alias walks tools/ as well). *)
+let lib_or_tools = function Lint_ctx.Lib _ | Lint_ctx.Tools -> true | _ -> false
+
 let engine_subdirs = [ "core"; "ssj"; "scj"; "bsi"; "wcoj" ]
 
 let engine_only = function

@@ -25,5 +25,9 @@ val v :
 val lib_only : Lint_ctx.kind -> bool
 (** [lib/] sources only. *)
 
+val lib_or_tools : Lint_ctx.kind -> bool
+(** [lib/] plus [tools/] — the house-style rules the linter's own
+    sources must satisfy (self-lint). *)
+
 val engine_only : Lint_ctx.kind -> bool
 (** The join-engine libraries: [lib/{core,ssj,scj,bsi,wcoj}]. *)

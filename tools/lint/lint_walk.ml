@@ -42,11 +42,31 @@ let collect_aliases ctx (str : Typedtree.structure) =
       | _ -> ())
     str.str_items
 
-let walk ctx (rules : Lint_rule.t list) (str : Typedtree.structure) =
-  let open Typedtree in
-  let expr (it : Tast_iterator.iterator) (e : expression) =
+(* ------------------------------------------------------------------ *)
+(* harvest hooks                                                       *)
+
+type hooks = {
+  on_binding : Typedtree.value_binding -> (unit -> unit) -> unit;
+  on_module : string -> (unit -> unit) -> unit;
+  on_expr : Typedtree.expression -> unit;
+}
+
+let null_hooks =
+  {
+    on_binding = (fun _ k -> k ());
+    on_module = (fun _ k -> k ());
+    on_expr = (fun _ -> ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* traversal                                                           *)
+
+let walk ?(hooks = null_hooks) ctx (rules : Lint_rule.t list)
+    (str : Typedtree.structure) =
+  let expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
     let allows = Lint_ctx.allows_of_attributes ctx e.exp_attributes in
     Lint_ctx.with_allows ctx allows (fun () ->
+        hooks.on_expr e;
         List.iter (fun (r : Lint_rule.t) -> r.on_expr ctx e) rules;
         let deeper f =
           ctx.loop_depth <- ctx.loop_depth + 1;
@@ -63,6 +83,14 @@ let walk ctx (rules : Lint_rule.t list) (str : Typedtree.structure) =
           it.expr it lo;
           it.expr it hi;
           deeper (fun () -> it.expr it body)
+        | Texp_letmodule
+            (Some id, _, _, ({ mod_desc = Tmod_ident (path, _); _ } as _m), _)
+          ->
+          (* [let module M = Other in body]: scope the alias so idents
+             like [M.f] normalize inside the body. *)
+          Lint_ctx.with_alias ctx ~name:(Ident.name id)
+            ~target:(Path.name path) (fun () ->
+              Tast_iterator.default_iterator.expr it e)
         | Texp_apply (fn, args) ->
           let hof =
             match Lint_ctx.ident_of_expr ctx fn with
@@ -74,21 +102,37 @@ let walk ctx (rules : Lint_rule.t list) (str : Typedtree.structure) =
             (fun (_, arg) ->
               match arg with
               | None -> ()
-              | Some (a : expression) -> (
+              | Some (a : Typedtree.expression) -> (
                 match a.exp_desc with
                 | Texp_function _ when hof -> deeper (fun () -> it.expr it a)
                 | _ -> it.expr it a))
             args
         | _ -> Tast_iterator.default_iterator.expr it e)
   in
-  let value_binding (it : Tast_iterator.iterator) (vb : value_binding) =
+  let value_binding (it : Tast_iterator.iterator) (vb : Typedtree.value_binding) =
     let allows = Lint_ctx.allows_of_attributes ctx vb.vb_attributes in
     Lint_ctx.with_allows ctx allows (fun () ->
         Tast_iterator.default_iterator.value_binding it vb)
   in
-  let structure_item (it : Tast_iterator.iterator) (item : structure_item) =
+  let structure_item (it : Tast_iterator.iterator) (item : Typedtree.structure_item) =
     List.iter (fun (r : Lint_rule.t) -> r.on_str_item ctx item) rules;
-    Tast_iterator.default_iterator.structure_item it item
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+      (* Structure-level bindings go through [hooks.on_binding] so the
+         callgraph harvester can open a function node; the binding's
+         attributes are pushed here (and the default iterator called
+         directly below) so they are parsed exactly once. *)
+      List.iter
+        (fun (vb : Typedtree.value_binding) ->
+          let allows = Lint_ctx.allows_of_attributes ctx vb.vb_attributes in
+          Lint_ctx.with_allows ctx allows (fun () ->
+              hooks.on_binding vb (fun () ->
+                  Tast_iterator.default_iterator.value_binding it vb)))
+        vbs
+    | Tstr_module { mb_id = Some id; _ } ->
+      hooks.on_module (Ident.name id) (fun () ->
+          Tast_iterator.default_iterator.structure_item it item)
+    | _ -> Tast_iterator.default_iterator.structure_item it item
   in
   let it = { Tast_iterator.default_iterator with expr; value_binding; structure_item } in
   List.iter (fun (r : Lint_rule.t) -> r.on_file ctx str) rules;

@@ -5,7 +5,12 @@
     while conditions, and closure arguments passed to looping
     higher-order functions such as [Array.iter] or anything whose name
     starts with [iter]/[fold]) and the [[@jp.lint.allow]] suppression
-    stack (expression and value-binding attributes). *)
+    stack (expression and value-binding attributes).
+
+    The walker also exposes {!hooks} — callbacks fired during the same
+    single traversal — so the interprocedural signature/callgraph
+    harvest ({!Lint_callgraph}) rides along without a second pass over
+    the tree. *)
 
 val is_loop_hof : string -> bool
 (** Does a call to this (normalized) function run a closure argument
@@ -15,6 +20,24 @@ val collect_aliases : Lint_ctx.t -> Typedtree.structure -> unit
 (** Record the file-top [module M = Path] aliases into the context
     before walking, so {!Lint_ctx.normalize} can expand them. *)
 
-val walk : Lint_ctx.t -> Lint_rule.t list -> Typedtree.structure -> unit
+type hooks = {
+  on_binding : Typedtree.value_binding -> (unit -> unit) -> unit;
+      (** Wraps the traversal of each structure-level value binding
+          (including those inside nested modules); called with the
+          binding's suppression scope already pushed.  Must call the
+          continuation exactly once. *)
+  on_module : string -> (unit -> unit) -> unit;
+      (** Wraps the traversal of a named [module M = ...] item, so the
+          harvester can maintain the in-file module path. *)
+  on_expr : Typedtree.expression -> unit;
+      (** Every expression, with [ctx.loop_depth] and the suppression
+          stack current. *)
+}
+
+val null_hooks : hooks
+(** No-op hooks (the default). *)
+
+val walk :
+  ?hooks:hooks -> Lint_ctx.t -> Lint_rule.t list -> Typedtree.structure -> unit
 (** Run every rule's [on_file] hook, then traverse the structure once,
     invoking [on_expr]/[on_str_item] hooks at each node. *)

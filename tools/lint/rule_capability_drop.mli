@@ -1,0 +1,9 @@
+(** Interprocedural rule [capability-drop]: inside a function that
+    accepts a capability hook ([?guard]/[?cancel]/[?cache]/[?memo]/
+    [?tile]), flag any call whose callee accepts the same hook but where
+    the site silently omits it.  The finding carries the caller → callee
+    chain as evidence. *)
+
+val id : string
+
+val rule : Lint_global.t

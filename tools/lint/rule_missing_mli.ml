@@ -1,11 +1,16 @@
 let id = "missing-mli"
 
+(* Executable entry modules (tools/lint/bin/, bin/) have no interface to
+   document — the convention covers library modules. *)
+let is_executable source = Lint_util.contains_substring source "/bin/"
+
 let rule =
   Lint_rule.v ~id
-    ~doc:"every lib/ module ships an .mli with doc comments"
-    ~applies:Lint_rule.lib_only
+    ~doc:"every lib/ (and tools/ library) module ships an .mli with doc comments"
+    ~applies:Lint_rule.lib_or_tools
     ~on_file:(fun ctx str ->
-      if not ctx.Lint_ctx.has_mli then
+      if (not ctx.Lint_ctx.has_mli) && not (is_executable ctx.Lint_ctx.source)
+      then
         let loc =
           match str.Typedtree.str_items with
           | item :: _ -> item.str_loc

@@ -1,0 +1,50 @@
+module G = Lint_callgraph
+
+let id = "missing-poll"
+
+(* The dual of [hot-poll]: that rule caps the cadence from above (never
+   per tuple), this one from below — a function that takes [?cancel]
+   (resp. [?guard]) and loops must poll [Cancel.is_cancelled]/[check]
+   (resp. checkpoint via [Guard.check_budget]/[check_estimate]) in its
+   body or in some function it reaches, or the capability is dead
+   weight and a stress run can hang in the loop. *)
+let lib_fn (f : G.fn) = match f.G.f_kind with Lint_ctx.Lib _ -> true | _ -> false
+
+let check p (f : G.fn) cap ~what ~hint =
+  if List.mem cap f.G.f_caps && not (G.reaches_poll p cap f) then
+    Some
+      (Lint_global.finding ~rule:id ~loc:f.G.f_loc ~file:f.G.f_file
+         ~chain:[ f.G.f_name ]
+         ~message:
+           (Printf.sprintf
+              "%s accepts ?%s and contains a loop but neither it nor any \
+               reachable callee %s"
+              f.G.f_name (G.cap_label cap) what)
+         ~hint ~allow:f.G.f_allow ())
+  else None
+
+let rule =
+  Lint_global.v ~id
+    ~doc:
+      "a looping function accepting ?cancel (resp. ?guard) must poll \
+       Cancel.is_cancelled/check (resp. checkpoint the guard) in its body or \
+       a reachable callee — the cadence window closes from both sides"
+    (fun p ->
+      List.concat_map
+        (fun (f : G.fn) ->
+          if not (lib_fn f && f.G.f_has_loop) then []
+          else
+            List.filter_map Fun.id
+              [
+                check p f G.Cancel
+                  ~what:"polls Cancel.is_cancelled/Cancel.check"
+                  ~hint:
+                    "poll once per chunk/phase inside the loop, or forward \
+                     ?cancel to a callee that does";
+                check p f G.Guard
+                  ~what:"checkpoints the guard (check_budget/check_estimate)"
+                  ~hint:
+                    "checkpoint once per chunk/phase, or forward ?guard to a \
+                     callee that does";
+              ])
+        p.G.p_order)

@@ -1,0 +1,9 @@
+(** Interprocedural rule [missing-poll]: a function that accepts
+    [?cancel] (resp. [?guard]) and contains a loop must perform a
+    cancellation poll (resp. guard checkpoint) somewhere in its body or
+    in a callee reachable through the harvested call graph.  Dual of the
+    intra-procedural [hot-poll] rule. *)
+
+val id : string
+
+val rule : Lint_global.t

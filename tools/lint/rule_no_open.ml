@@ -5,8 +5,8 @@ let hint =
 
 let rule =
   Lint_rule.v ~id
-    ~doc:"no open in lib/ — module aliases at file top only"
-    ~applies:Lint_rule.lib_only
+    ~doc:"no open in lib/ or tools/ — module aliases at file top only"
+    ~applies:Lint_rule.lib_or_tools
     ~on_str_item:(fun ctx item ->
       match item.Typedtree.str_desc with
       | Tstr_open _ ->

@@ -3,9 +3,9 @@ let id = "poly-compare"
 let rule =
   Lint_rule.v ~id
     ~doc:
-      "no polymorphic Stdlib.compare in lib/ (radix Intsort / monomorphic \
-       comparators are load-bearing, see ABL-SORT)"
-    ~applies:Lint_rule.lib_only
+      "no polymorphic Stdlib.compare in lib/ or tools/ (radix Intsort / \
+       monomorphic comparators are load-bearing, see ABL-SORT)"
+    ~applies:Lint_rule.lib_or_tools
     ~on_expr:(fun ctx e ->
       match Lint_ctx.ident_of_expr ctx e with
       | Some "Stdlib.compare" ->

@@ -1,0 +1,42 @@
+let id = "wall-clock"
+
+(* Seed-reproducibility is a structural property: LANDLORD cost proxies,
+   chaos fault injection and open-loop arrival schedules are all pure
+   functions of seeds (design notes 13/14), so a stray clock read in
+   library code silently breaks determinism.  All timing flows through
+   [Jp_util.Timer]; the service layer owns deadline arithmetic; bench
+   code is outside lib/ and out of scope by kind. *)
+let banned = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let banned_prefixes = [ "Mtime."; "Mtime_clock." ]
+
+let exempt_sources = [ "lib/util/timer.ml" ]
+
+let exempt_prefixes = [ "lib/service/" ]
+
+let exempt source =
+  List.mem source exempt_sources
+  || List.exists (fun p -> String.starts_with ~prefix:p source) exempt_prefixes
+
+let is_banned name =
+  List.mem name banned
+  || List.exists (fun p -> String.starts_with ~prefix:p name) banned_prefixes
+
+let rule =
+  Lint_rule.v ~id
+    ~doc:
+      "no raw clock reads (Unix.gettimeofday/Unix.time/Sys.time/Mtime) in \
+       lib/ outside Jp_util.Timer and the Jp_service deadline plumbing — \
+       seeded runs must stay reproducible"
+    ~applies:Lint_rule.lib_only
+    ~on_expr:(fun ctx e ->
+      if not (exempt ctx.Lint_ctx.source) then
+        match Lint_ctx.ident_of_expr ctx e with
+        | Some name when is_banned name ->
+          Lint_ctx.emit ctx ~rule:id ~loc:e.Typedtree.exp_loc
+            ~message:(Printf.sprintf "raw clock read %s in library code" name)
+            ~hint:
+              "go through Jp_util.Timer.now (tests can see it), or derive a \
+               deterministic cost proxy from work counts instead of wall time"
+        | _ -> ())
+    ()

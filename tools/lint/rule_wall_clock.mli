@@ -1,0 +1,9 @@
+(** Rule [wall-clock]: raw clock reads ([Unix.gettimeofday], [Unix.time],
+    [Sys.time], the [Mtime] family) are banned in [lib/] outside the
+    sanctioned timing module ([Jp_util.Timer], i.e. [lib/util/timer.ml])
+    and the [Jp_service] deadline plumbing ([lib/service/]) — stray
+    clock reads break seed-reproducibility silently. *)
+
+val id : string
+
+val rule : Lint_rule.t
